@@ -1,0 +1,105 @@
+// Command experiments regenerates every table and figure of the
+// paper's Section 7 evaluation over the synthetic 589-module driver
+// corpus:
+//
+//	experiments               # everything: summary, Figure 6, Figure 7, timing
+//	experiments -summary      # E1 only
+//	experiments -fig6         # Figure 6 only
+//	experiments -fig7         # Figure 7 only
+//	experiments -timing       # E4 only
+//	experiments -dump DIR     # write the generated corpus sources to DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"localalias/internal/drivergen"
+	"localalias/internal/experiments"
+)
+
+func main() {
+	var (
+		summary = flag.Bool("summary", false, "print only the Section 7 summary (E1)")
+		fig6    = flag.Bool("fig6", false, "print only Figure 6 (E2)")
+		fig7    = flag.Bool("fig7", false, "print only Figure 7 (E3)")
+		timing  = flag.Bool("timing", false, "print only the timing comparison (E4)")
+		rounds  = flag.Int("rounds", 5, "timing rounds for -timing")
+		dump    = flag.String("dump", "", "write generated corpus sources to this directory and exit")
+		csvPath = flag.String("csv", "", "also write per-module results as CSV to this file")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpCorpus(*dump); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	all := !*summary && !*fig6 && !*fig7 && !*timing
+
+	var res *experiments.CorpusResult
+	if all || *summary || *fig6 || *fig7 {
+		var progress *os.File
+		if !*quiet {
+			progress = os.Stderr
+			fmt.Fprintf(progress, "analyzing %d driver modules in three modes...\n", drivergen.NumModules)
+		}
+		start := time.Now()
+		res = experiments.RunCorpus(drivergen.Corpus(), progress)
+		if !*quiet {
+			fmt.Fprintf(progress, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *csvPath != "" && res != nil {
+		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+	}
+
+	if all || *summary {
+		fmt.Println(res.Summary())
+	}
+	if all || *fig6 {
+		fmt.Println(res.Figure6())
+	}
+	if all || *fig7 {
+		fmt.Println(res.Figure7())
+	}
+	if all || *timing {
+		tr, err := experiments.Timing("ide_tape", *rounds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tr.String())
+	}
+	if res != nil && res.Mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+func dumpCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n, err := drivergen.WriteCorpus(func(name, contents string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(contents), 0o644)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d modules to %s\n", n, dir)
+	return nil
+}

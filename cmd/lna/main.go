@@ -1,0 +1,196 @@
+// Command lna (Local Non-Aliasing) is the command-line front end to
+// the restrict/confine toolkit:
+//
+//	lna check FILE          verify restrict/confine annotations (§4, §6.1)
+//	lna infer FILE          restrict inference: print the program with
+//	                        every let that can become restrict marked (§5)
+//	lna confine FILE        confine inference: print the program with
+//	                        inferred confines inserted (§6, §7)
+//	lna qual FILE           three-mode locking analysis of one module (§7)
+//	lna fmt FILE            print the program in canonical form
+//	lna run FILE [ARGS...]  interpret FILE's main(int args...) (§3.2)
+//
+// Flags after the subcommand:
+//
+//	-params    also infer restrict on ref-typed parameters
+//	-general   exhaustive confine scope search instead of the heuristic
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"localalias/internal/ast"
+	"localalias/internal/core"
+	"localalias/internal/experiments"
+	"localalias/internal/interp"
+	"localalias/internal/qual"
+	"localalias/internal/restrict"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	params := fs.Bool("params", false, "also infer restrict on ref-typed parameters")
+	general := fs.Bool("general", false, "exhaustive confine scope search")
+	liberal := fs.Bool("liberal", false, "check with the liberal §5 restrict-effect semantics")
+	asJSON := fs.Bool("json", false, "qual: emit the three-mode report as JSON")
+	_ = fs.Parse(os.Args[2:])
+	args := fs.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := core.LoadModule(args[0], string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "check":
+		r := restrict.CheckWith(mod.TInfo, mod.Diags, restrict.CheckOptions{Liberal: *liberal})
+		fmt.Print(mod.Diags.RenderAll())
+		if r.OK() {
+			fmt.Println("ok: all restrict/confine annotations verified")
+			if r.UsedFigure5 {
+				fmt.Println("(checked with the O(kn) Figure 5 algorithm)")
+			}
+		} else {
+			os.Exit(1)
+		}
+
+	case "infer":
+		r := mod.InferRestrict(*params)
+		fmt.Print(r.Summary())
+		fmt.Println("--- annotated program ---")
+		_ = ast.Fprint(os.Stdout, mod.Prog)
+		if len(r.Violations) > 0 {
+			os.Exit(1)
+		}
+
+	case "confine":
+		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: *general})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("confine inference: planted %d candidate(s), kept %d\n",
+			lr.Confine.Planted, len(lr.Confine.Kept))
+		fmt.Println("--- transformed program ---")
+		_ = ast.Fprint(os.Stdout, mod.Prog)
+
+	case "qual":
+		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: *general})
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := writeJSONReport(os.Stdout, mod, lr); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		report := func(name string, r *qual.Report) {
+			fmt.Printf("%-18s %3d type error(s) at %d lock-op site(s)\n",
+				name+":", r.NumErrors(), r.NumSites)
+			for _, e := range r.Errors {
+				pos := mod.Prog.File.Position(e.Site.Start)
+				fmt.Printf("    %s: %s\n", pos, e.String())
+			}
+		}
+		report("no confine", lr.NoConfine)
+		report("confine inference", lr.WithConfine)
+		report("all-strong bound", lr.AllStrong)
+
+	case "fmt":
+		_ = ast.Fprint(os.Stdout, mod.Prog)
+
+	case "run":
+		var vals []interp.Value
+		for _, a := range args[1:] {
+			n, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("argument %q is not an integer", a))
+			}
+			vals = append(vals, n)
+		}
+		in := interp.New(mod.TInfo, interp.Options{Out: os.Stdout})
+		v, err := in.Call("main", vals...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=> %s\n", interp.FormatValue(v))
+
+	case "timing":
+		tr, err := experiments.Timing(args[0], 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.String())
+
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// jsonError is one site error in -json output.
+type jsonError struct {
+	Pos  string `json:"pos"`
+	Op   string `json:"op"`
+	Want string `json:"want"`
+	Got  string `json:"got"`
+}
+
+func jsonErrors(mod *core.Module, r *qual.Report) []jsonError {
+	out := []jsonError{}
+	for _, e := range r.Errors {
+		out = append(out, jsonError{
+			Pos:  mod.Prog.File.Position(e.Site.Start).String(),
+			Op:   e.Op,
+			Want: e.Want.String(),
+			Got:  e.Got.String(),
+		})
+	}
+	return out
+}
+
+func writeJSONReport(w io.Writer, mod *core.Module, lr *core.LockingResult) error {
+	payload := map[string]any{
+		"module":     mod.Name,
+		"sites":      lr.NoConfine.NumSites,
+		"planted":    lr.Confine.Planted,
+		"kept":       len(lr.Confine.Kept),
+		"potential":  lr.Potential(),
+		"eliminated": lr.Eliminated(),
+		"modes": map[string]any{
+			"no_confine":        jsonErrors(mod, lr.NoConfine),
+			"confine_inference": jsonErrors(mod, lr.WithConfine),
+			"all_strong":        jsonErrors(mod, lr.AllStrong),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lna:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lna <check|infer|confine|qual|fmt|run> [flags] FILE [args...]`)
+}

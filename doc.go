@@ -1,0 +1,18 @@
+// Package localalias is a from-scratch reproduction of
+//
+//	Aiken, Foster, Kodumal, Terauchi:
+//	"Checking and Inferring Local Non-Aliasing", PLDI 2003.
+//
+// The library implements the paper's restrict and confine constructs
+// over a small imperative language (MiniC), the type-and-effect
+// system that checks them, constraint-based checking (O(kn)) and
+// inference (O(n²)) algorithms, a flow-sensitive locked/unlocked
+// qualifier analysis in the style of CQUAL, a big-step interpreter
+// realizing the err-poisoning semantics of Section 3.2, and a
+// synthetic 589-module device-driver corpus over which every table
+// and figure of the paper's evaluation is regenerated.
+//
+// See README.md for the layout and DESIGN.md for the system
+// inventory; the benchmarks in bench_test.go regenerate each
+// experiment (E1–E8).
+package localalias

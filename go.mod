@@ -1,0 +1,3 @@
+module localalias
+
+go 1.22

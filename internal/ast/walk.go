@@ -1,0 +1,110 @@
+package ast
+
+// Inspect traverses the tree rooted at n in depth-first pre-order,
+// calling f for every node. If f returns false the node's children are
+// skipped. Nil children are not visited.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		for _, d := range n.Structs {
+			Inspect(d, f)
+		}
+		for _, d := range n.Globals {
+			Inspect(d, f)
+		}
+		for _, d := range n.Funs {
+			Inspect(d, f)
+		}
+	case *StructDecl:
+		for _, fd := range n.Fields {
+			Inspect(fd, f)
+		}
+	case *Field:
+		Inspect(n.Type, f)
+	case *GlobalDecl:
+		Inspect(n.Type, f)
+	case *FunDecl:
+		for _, p := range n.Params {
+			Inspect(p, f)
+		}
+		if n.Result != nil {
+			Inspect(n.Result, f)
+		}
+		Inspect(n.Body, f)
+	case *Param:
+		Inspect(n.Type, f)
+
+	case *PrimType, *NamedType:
+		// leaves
+	case *RefType:
+		Inspect(n.Elem, f)
+	case *ArrayType:
+		Inspect(n.Elem, f)
+
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		Inspect(n.Init, f)
+	case *BindStmt:
+		Inspect(n.Init, f)
+		Inspect(n.Body, f)
+	case *ConfineStmt:
+		Inspect(n.Expr, f)
+		Inspect(n.Body, f)
+	case *AssignStmt:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *ExprStmt:
+		Inspect(n.X, f)
+	case *IfStmt:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *WhileStmt:
+		Inspect(n.Cond, f)
+		Inspect(n.Body, f)
+	case *ReturnStmt:
+		if n.X != nil {
+			Inspect(n.X, f)
+		}
+
+	case *IntLit, *VarExpr:
+		// leaves
+	case *NewExpr:
+		Inspect(n.Init, f)
+	case *DerefExpr:
+		Inspect(n.X, f)
+	case *AddrExpr:
+		Inspect(n.X, f)
+	case *IndexExpr:
+		Inspect(n.X, f)
+		Inspect(n.Index, f)
+	case *FieldExpr:
+		Inspect(n.X, f)
+	case *BinExpr:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *UnExpr:
+		Inspect(n.X, f)
+	case *CallExpr:
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	}
+}
+
+// CountNodes returns the number of nodes in the tree rooted at n. It
+// is the program-size measure "n" used in the paper's complexity
+// statements (O(kn) checking, O(n^2) inference).
+func CountNodes(n Node) int {
+	c := 0
+	Inspect(n, func(Node) bool { c++; return true })
+	return c
+}

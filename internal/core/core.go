@@ -1,0 +1,132 @@
+// Package core is the public facade of the local non-aliasing
+// toolkit: it wires the pipeline of the paper end to end —
+//
+//	parse → standard types → alias-and-effect inference →
+//	restrict/confine checking or inference → flow-sensitive
+//	locked/unlocked qualifier analysis
+//
+// — and exposes the three-mode locking experiment of Section 7
+// (no-confine / confine-inference / all-updates-strong).
+package core
+
+import (
+	"fmt"
+
+	"localalias/internal/ast"
+	"localalias/internal/confine"
+	"localalias/internal/infer"
+	"localalias/internal/parser"
+	"localalias/internal/qual"
+	"localalias/internal/restrict"
+	"localalias/internal/solve"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+// Module is a parsed and standard-type-checked compilation unit.
+type Module struct {
+	Name  string
+	Prog  *ast.Program
+	TInfo *types.Info
+	Diags *source.Diagnostics
+}
+
+// LoadModule parses and type checks src. It fails on lexical,
+// syntactic or standard type errors.
+func LoadModule(name, src string) (*Module, error) {
+	diags := &source.Diagnostics{}
+	prog := parser.Parse(name, src, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%s: %w", name, diags.Err())
+	}
+	tinfo := types.Check(prog, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("%s: %w", name, diags.Err())
+	}
+	return &Module{Name: name, Prog: prog, TInfo: tinfo, Diags: diags}, nil
+}
+
+// CheckAnnotations verifies the module's explicit restrict/confine
+// annotations (Sections 4 and 6.1). The result's Violations are also
+// appended to m.Diags.
+func (m *Module) CheckAnnotations() *restrict.CheckResult {
+	return restrict.Check(m.TInfo, m.Diags)
+}
+
+// InferRestrict runs restrict inference (Section 5), marking
+// successful lets in the AST.
+func (m *Module) InferRestrict(params bool) *restrict.InferResult {
+	return restrict.Infer(m.TInfo, m.Diags, restrict.Options{Params: params})
+}
+
+// LockingOptions configures the three-mode locking experiment.
+type LockingOptions struct {
+	// General selects the exhaustive scope search instead of the
+	// paper's syntactic heuristic (Section 7).
+	General bool
+	// NoParams disables parameter restrict inference in the
+	// confine-inference mode (on by default: it is how strong updates
+	// cross helper-function boundaries).
+	NoParams bool
+	// NoLets disables let-or-restrict inference (Section 5) in the
+	// confine-inference mode (on by default: it recovers strong
+	// updates for locks held in local pointer bindings).
+	NoLets bool
+}
+
+// LockingResult carries the three reports of the Section 7
+// experiment for one module.
+type LockingResult struct {
+	Module *Module
+
+	// NoConfine is the baseline: weak updates wherever aliasing
+	// demands them.
+	NoConfine *qual.Report
+	// WithConfine is the analysis after confine inference.
+	WithConfine *qual.Report
+	// AllStrong assumes every update is strong: the upper bound on
+	// what strong-update recovery can eliminate.
+	AllStrong *qual.Report
+
+	// Confine is the inference run that produced WithConfine.
+	Confine *confine.Result
+}
+
+// Potential returns the number of spurious errors that strong
+// updates could eliminate (noConfine − allStrong).
+func (r *LockingResult) Potential() int {
+	return r.NoConfine.NumErrors() - r.AllStrong.NumErrors()
+}
+
+// Eliminated returns the number of errors confine inference actually
+// eliminated (noConfine − withConfine).
+func (r *LockingResult) Eliminated() int {
+	return r.NoConfine.NumErrors() - r.WithConfine.NumErrors()
+}
+
+// AnalyzeLocking runs the three analysis modes of the experiment.
+// The module's AST is rewritten in place by confine inference (the
+// baseline and all-strong modes run first, on the pristine tree).
+func (m *Module) AnalyzeLocking(opts LockingOptions) (*LockingResult, error) {
+	out := &LockingResult{Module: m}
+
+	// Baseline and upper bound on the pristine AST.
+	baseInfer := infer.Run(m.TInfo, m.Diags, infer.Options{})
+	baseSol := solve.Solve(baseInfer.Sys)
+	out.NoConfine = qual.Analyze(baseInfer, baseSol, qual.ModePlain)
+	out.AllStrong = qual.Analyze(baseInfer, baseSol, qual.ModeAllStrong)
+
+	// Confine inference (mutates the AST), then the qualifier
+	// analysis over the surviving bindings.
+	cres, err := confine.InferAndApply(m.Prog, m.Diags, confine.Options{
+		General: opts.General,
+		Params:  !opts.NoParams,
+		Lets:    !opts.NoLets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Confine = cres
+	out.WithConfine = qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package drivergen
+
+import (
+	"testing"
+
+	"localalias/internal/core"
+)
+
+func TestCorpusShape(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) != NumModules {
+		t.Fatalf("corpus size: %d", len(corpus))
+	}
+	counts := map[Category]int{}
+	names := map[string]bool{}
+	for _, m := range corpus {
+		counts[m.Category]++
+		if names[m.Name] {
+			t.Errorf("duplicate module name %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	if counts[Clean] != NumClean || counts[BugsOnly] != NumBugsOnly ||
+		counts[FullRecovery] != NumFullRecovery || counts[Partial] != NumPartial {
+		t.Fatalf("category counts: %v", counts)
+	}
+}
+
+func TestCorpusPotentialMass(t *testing.T) {
+	// The paper's totals: potential eliminations 3,277 of which the
+	// 14 partial modules hold 503 and the 138 full-recovery modules
+	// hold 2,774; eliminated 3,116 (95%).
+	potential, eliminated := 0, 0
+	for _, m := range Corpus() {
+		p := m.Expected.NoConfine - m.Expected.AllStrong
+		e := m.Expected.NoConfine - m.Expected.Confine
+		potential += p
+		eliminated += e
+	}
+	if potential != 3277 {
+		t.Errorf("potential = %d, want 3277", potential)
+	}
+	if eliminated != 3116 {
+		t.Errorf("eliminated = %d, want 3116", eliminated)
+	}
+}
+
+func TestFullRecoveryPartition(t *testing.T) {
+	cs := fullRecoveryCounts()
+	if len(cs) != NumFullRecovery {
+		t.Fatalf("len = %d", len(cs))
+	}
+	sum := 0
+	for _, c := range cs {
+		if c < 1 {
+			t.Fatalf("count below 1: %v", cs)
+		}
+		sum += c
+	}
+	if sum != PotentialFullRecovery {
+		t.Fatalf("sum = %d, want %d", sum, PotentialFullRecovery)
+	}
+}
+
+func TestFigure7Decomposition(t *testing.T) {
+	for _, row := range Figure7Paper() {
+		if row.NoConfine < row.Confine || row.Confine < row.AllStrong {
+			t.Errorf("%s: counts not monotone", row.Name)
+		}
+	}
+	// Figure 7 potential/eliminated must match the paper-derived
+	// masses (503 potential, 342 eliminated).
+	p, e := 0, 0
+	for _, row := range Figure7Paper() {
+		p += row.NoConfine - row.AllStrong
+		e += row.NoConfine - row.Confine
+	}
+	if p != 503 || e != 342 {
+		t.Errorf("figure 7 masses: potential=%d eliminated=%d", p, e)
+	}
+}
+
+// measure runs the full pipeline on a spec.
+func measure(t *testing.T, m *ModuleSpec) Triple {
+	t.Helper()
+	mod, err := core.LoadModule(m.Name+".mc", m.Source())
+	if err != nil {
+		t.Fatalf("%s does not compile: %v\n%s", m.Name, err, m.Source())
+	}
+	r, err := mod.AnalyzeLocking(core.LockingOptions{})
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+	return Triple{
+		NoConfine: r.NoConfine.NumErrors(),
+		Confine:   r.WithConfine.NumErrors(),
+		AllStrong: r.AllStrong.NumErrors(),
+	}
+}
+
+// TestUnitContributions verifies the per-unit error contributions the
+// generator's Expected triples rely on.
+func TestUnitContributions(t *testing.T) {
+	// A units come in 4 flavors (direct pair, helper-param pair,
+	// let-bound pointer pair, branchy pair); B units in 3. Each must
+	// contribute its documented triple.
+	for flavor := 0; flavor < 4; flavor++ {
+		spec := &ModuleSpec{Name: flavorName("aunit", flavor, 4), A: 1, Expected: expected(1, 0, 0)}
+		got := measure(t, spec)
+		if got != spec.Expected {
+			t.Errorf("A unit (%s): got %+v want %+v\n%s", spec.Name, got, spec.Expected, spec.Source())
+		}
+	}
+	for flavor := 0; flavor < 3; flavor++ {
+		spec := &ModuleSpec{Name: flavorName("bunit", flavor, 3), B: 1, Expected: expected(0, 0, 1)}
+		got := measure(t, spec)
+		if got != spec.Expected {
+			t.Errorf("B unit (%s): got %+v want %+v\n%s", spec.Name, got, spec.Expected, spec.Source())
+		}
+	}
+	// One U unit alone.
+	spec := &ModuleSpec{Name: "uunit", U: 1, Expected: expected(0, 1, 0)}
+	got := measure(t, spec)
+	if got != spec.Expected {
+		t.Errorf("U unit: got %+v want %+v\n%s", got, spec.Expected, spec.Source())
+	}
+}
+
+// flavorName produces names whose hash selects the given flavor in
+// srcGen.pick for unit index 0 under the given modulus.
+func flavorName(base string, flavor, mod int) string {
+	for i := 0; i < 100; i++ {
+		name := base + string(rune('a'+i))
+		h := 0
+		for _, c := range name {
+			h = h*31 + int(c)
+		}
+		if h < 0 {
+			h = -h
+		}
+		if h%mod == flavor {
+			return name
+		}
+	}
+	return base
+}
+
+func TestModuleExpectedMatchesMeasured(t *testing.T) {
+	// A representative sample across every category; the full 589 run
+	// lives in the experiments package.
+	corpus := Corpus()
+	sample := []int{
+		0, 1, 100, 351, // clean
+		352, 360, 436, // bugs-only
+		437, 480, 520, 574, // full recovery
+		575, 577, 584, 588, // partial (incl. emu10k1, iph5526)
+	}
+	for _, idx := range sample {
+		m := corpus[idx]
+		got := measure(t, m)
+		if got != m.Expected {
+			t.Errorf("%s (%s, A=%d U=%d B=%d): got %+v want %+v",
+				m.Name, m.Category, m.A, m.U, m.B, got, m.Expected)
+		}
+	}
+}
+
+func TestFigure7ModulesMatchPaperRows(t *testing.T) {
+	corpus := Corpus()
+	byName := map[string]*ModuleSpec{}
+	for _, m := range corpus {
+		byName[m.Name] = m
+	}
+	for _, row := range Figure7Paper() {
+		m := byName[row.Name]
+		if m == nil {
+			t.Fatalf("missing module %s", row.Name)
+		}
+		got := measure(t, m)
+		want := Triple{row.NoConfine, row.Confine, row.AllStrong}
+		if got != want {
+			t.Errorf("%s: measured %+v, paper %+v", row.Name, got, want)
+		}
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	m := Corpus()[588]
+	if m.Source() != m.Source() {
+		t.Error("generation must be deterministic")
+	}
+}
+
+func TestWriteCorpus(t *testing.T) {
+	seen := map[string]int{}
+	n, err := WriteCorpus(func(name, contents string) error {
+		seen[name] = len(contents)
+		return nil
+	})
+	if err != nil || n != NumModules {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if seen["emu10k1.mc"] == 0 || seen["clean_000.mc"] == 0 {
+		t.Error("missing module files")
+	}
+	// ide_tape is padded to be the largest module (for the E4 timing
+	// experiment, as in the paper).
+	for name, size := range seen {
+		if name != "ide_tape.mc" && size > seen["ide_tape.mc"] {
+			t.Errorf("%s (%d bytes) larger than ide_tape (%d)", name, size, seen["ide_tape.mc"])
+		}
+	}
+}

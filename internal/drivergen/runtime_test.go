@@ -1,0 +1,127 @@
+package drivergen
+
+// Runtime cross-validation: the corpus's static classification must
+// agree with the Section 3.2 operational semantics. Modules whose
+// errors are "real bugs" (B units) must actually misbehave when run —
+// double acquires self-deadlock, stray releases trap — while clean
+// and merely-weakly-analyzable modules (A and U units) execute
+// without lock traps, because their locking is dynamically correct
+// and only the static analysis loses precision on them.
+
+import (
+	"strings"
+	"testing"
+
+	"localalias/internal/ast"
+	"localalias/internal/core"
+	"localalias/internal/interp"
+)
+
+// runRoots interprets every root function of the module that takes
+// only int parameters, trying argument vectors of all-0 and all-1.
+// It returns the lock-trap messages encountered.
+func runRoots(t *testing.T, spec *ModuleSpec) []string {
+	t.Helper()
+	mod, err := core.LoadModule(spec.Name+".mc", spec.Source())
+	if err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
+	}
+	called := map[string]bool{}
+	ast.Inspect(mod.Prog, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			called[c.Fun] = true
+		}
+		return true
+	})
+	var traps []string
+	for _, f := range mod.Prog.Funs {
+		if called[f.Name] {
+			continue
+		}
+		intsOnly := true
+		for _, p := range f.Params {
+			if pt, ok := p.Type.(*ast.PrimType); !ok || pt.Kind != ast.PrimInt {
+				intsOnly = false
+			}
+		}
+		if !intsOnly {
+			continue
+		}
+		for _, argVal := range []int64{0, 1} {
+			// Fresh interpreter per call: each run starts from the
+			// boot state (locks released), like a fresh module load.
+			in := interp.New(mod.TInfo, interp.Options{MaxSteps: 1 << 16})
+			args := make([]interp.Value, len(f.Params))
+			for i := range args {
+				args[i] = argVal
+			}
+			_, err := in.Call(f.Name, args...)
+			if err == nil {
+				continue
+			}
+			msg := err.Error()
+			if _, isRestrict := err.(*interp.RestrictErr); isRestrict {
+				t.Errorf("%s.%s: unexpected restrict err: %v", spec.Name, f.Name, err)
+			}
+			if strings.Contains(msg, "lock") {
+				traps = append(traps, f.Name+": "+msg)
+			} else if !strings.Contains(msg, "out of bounds") {
+				// Index traps can occur for argument values outside
+				// the lock array; anything else is unexpected.
+				t.Errorf("%s.%s(%d): unexpected trap: %v", spec.Name, f.Name, argVal, err)
+			}
+		}
+	}
+	return traps
+}
+
+func specByName(name string) *ModuleSpec {
+	for _, m := range Corpus() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func TestCleanModulesRunClean(t *testing.T) {
+	for _, name := range []string{"clean_000", "clean_100", "clean_351"} {
+		if traps := runRoots(t, specByName(name)); len(traps) != 0 {
+			t.Errorf("%s must run without lock traps: %v", name, traps)
+		}
+	}
+}
+
+func TestRecoverableModulesRunClean(t *testing.T) {
+	// A and U units are spurious STATIC errors only: dynamically the
+	// locking is correct.
+	for _, name := range []string{"driver_000", "driver_100"} {
+		if traps := runRoots(t, specByName(name)); len(traps) != 0 {
+			t.Errorf("%s (weak-update-only module) must run clean: %v", name, traps)
+		}
+	}
+}
+
+func TestBuggyModulesTrap(t *testing.T) {
+	// Every bugs-only module must exhibit at least one runtime lock
+	// trap across its roots.
+	for _, name := range []string{"buggy_000", "buggy_001", "buggy_002", "buggy_010"} {
+		traps := runRoots(t, specByName(name))
+		if len(traps) == 0 {
+			t.Errorf("%s contains real bugs but ran clean", name)
+		}
+	}
+}
+
+func TestPartialModulesTrapOnlyViaBugs(t *testing.T) {
+	// netrom/rose have NO real bugs (all-strong count 0): they must
+	// run clean. iph5526 is almost all real bugs: it must trap.
+	for _, name := range []string{"netrom", "rose"} {
+		if traps := runRoots(t, specByName(name)); len(traps) != 0 {
+			t.Errorf("%s (no real bugs) must run clean: %v", name, traps)
+		}
+	}
+	if traps := runRoots(t, specByName("iph5526")); len(traps) == 0 {
+		t.Error("iph5526 carries real bugs and must trap")
+	}
+}

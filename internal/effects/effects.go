@@ -1,0 +1,412 @@
+// Package effects defines the effect constraint language of the paper
+// (Sections 4–6): effect atoms, effect expressions, and the three
+// constraint forms produced by alias-and-effect inference —
+//
+//	L ⊆ ε    inclusion of an effect expression in an effect variable
+//	ρ ∉ ε    disinclusion of a location from an effect variable
+//	cond     conditional constraints (Sections 5 and 6), used by
+//	         restrict and confine inference
+//
+// Type equality constraints (Figure 4a) are solved eagerly during
+// inference by unification on located types; the location equalities
+// they imply arrive here through the shared locs.Store.
+//
+// Effects are sets of atoms. The paper's basic system (Section 3)
+// uses plain location atoms {ρ}; the refined system for confine
+// (Section 6.1) splits effects into read(ρ), write(ρ) and alloc(ρ).
+// We use the refined atoms throughout and give the basic system's
+// operations their obvious any-kind meaning, e.g. ρ ∉ L holds when no
+// atom of any kind over ρ is in L.
+//
+// Intersection: the only intersections the syntax-directed system
+// generates come from (Down), which replaces an effect L by
+// L ∩ locs(Γ, τ) — "drop effects on locations no longer in use". We
+// therefore give L₁ ∩ L₂ the kind-respecting reading "atoms of L₁
+// whose location occurs (with any kind) in L₂". On the plain location
+// sets of the paper's Figures 4 and 5 this coincides exactly with set
+// intersection; on mixed sets it avoids polluting effect sets with
+// the bare location atoms of locs(Γ, τ).
+package effects
+
+import (
+	"fmt"
+
+	"localalias/internal/locs"
+	"localalias/internal/source"
+)
+
+// Kind classifies an effect atom.
+type Kind uint8
+
+// The atom kinds. LocAtom is membership of a location in a location
+// set (the locs(τ)/locs(Γ) sets); Read/Write/Alloc are the effect
+// kinds of Section 6.1.
+const (
+	LocAtom Kind = iota
+	Read
+	Write
+	Alloc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LocAtom:
+		return "loc"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Alloc:
+		return "alloc"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// Atom is one effect: kind applied to an abstract location. Atoms are
+// stored canonicalized (Loc is a representative at insertion time);
+// compare via the solver, which re-canonicalizes after unifications.
+type Atom struct {
+	Kind Kind
+	Loc  locs.Loc
+}
+
+func (a Atom) String() string { return fmt.Sprintf("%s(ρ%d)", a.Kind, a.Loc) }
+
+// Var is an effect-set variable (the ε and π of the paper), an index
+// into its System.
+type Var int32
+
+// NoVar is the absent variable.
+const NoVar Var = -1
+
+// Expr is an effect expression per the paper's grammar
+//
+//	L ::= ∅ | {a} | ε | L₁ ∪ L₂ | L₁ ∩ L₂
+type Expr interface {
+	effString() string
+}
+
+// Empty is ∅.
+type Empty struct{}
+
+// AtomExpr is the singleton {a}.
+type AtomExpr struct{ A Atom }
+
+// VarRef is an effect variable occurrence.
+type VarRef struct{ V Var }
+
+// Union is L₁ ∪ L₂.
+type Union struct{ L, R Expr }
+
+// Inter is L₁ ∩ L₂ (see the package comment for its reading on mixed
+// atom kinds).
+type Inter struct{ L, R Expr }
+
+func (Empty) effString() string      { return "∅" }
+func (e AtomExpr) effString() string { return e.A.String() }
+func (e VarRef) effString() string   { return fmt.Sprintf("ε%d", e.V) }
+func (e Union) effString() string    { return "(" + e.L.effString() + " ∪ " + e.R.effString() + ")" }
+func (e Inter) effString() string    { return "(" + e.L.effString() + " ∩ " + e.R.effString() + ")" }
+
+// String renders an effect expression.
+func String(e Expr) string { return e.effString() }
+
+// ---------------------------------------------------------------------
+// Constraints
+
+// Incl is the inclusion constraint L ⊆ ε.
+type Incl struct {
+	L Expr
+	V Var
+}
+
+// NotIn is the disinclusion check ρ ∉ ε. Site and What carry
+// diagnostic context (which restrict/confine and which side
+// condition generated the check).
+type NotIn struct {
+	Loc  locs.Loc
+	V    Var
+	Site source.Span
+	What string
+}
+
+// KindNotIn is the check that no atom of the given kind occurs in V.
+// The confine checking rule uses it for "e₁ has no write/alloc
+// effects" (Section 6.1).
+type KindNotIn struct {
+	Kind Kind
+	V    Var
+	Site source.Span
+	What string
+}
+
+// PairNotIn is the check that no location ρ″ has KindA(ρ″) in VA and
+// KindB(ρ″) in VB simultaneously. The confine checking rule uses it
+// for "no location read by e₁ is written/allocated by e₂".
+type PairNotIn struct {
+	KindA Kind
+	VA    Var
+	KindB Kind
+	VB    Var
+	Site  source.Span
+	What  string
+}
+
+// Trigger is the antecedent of a conditional constraint.
+type Trigger interface{ trigger() }
+
+// LocIn fires when an atom of any kind over Loc enters V.
+type LocIn struct {
+	Loc locs.Loc
+	V   Var
+}
+
+// AtomIn fires when the specific atom Kind(Loc) enters V.
+type AtomIn struct {
+	Kind Kind
+	Loc  locs.Loc
+	V    Var
+}
+
+// KindIn fires when an atom of kind Kind (over any location) enters
+// V. It implements the paper's "∀ρ″. write(ρ″) ∈ L₁ ⇒ …" premises.
+type KindIn struct {
+	Kind Kind
+	V    Var
+}
+
+// PairIn fires for each location ρ″ such that an atom KindA(ρ″) is in
+// VA and an atom KindB(ρ″) is in VB. It implements the premises
+// "∀ρ″. read(ρ″) ∈ L₁ ∧ write(ρ″) ∈ L₂ ⇒ …".
+type PairIn struct {
+	KindA Kind
+	VA    Var
+	KindB Kind
+	VB    Var
+}
+
+func (LocIn) trigger()  {}
+func (AtomIn) trigger() {}
+func (KindIn) trigger() {}
+func (PairIn) trigger() {}
+
+// Action is the consequent of a conditional constraint.
+type Action interface{ action() }
+
+// ActUnify unifies two locations (the "then ρ = ρ′" consequents).
+type ActUnify struct {
+	A, B locs.Loc
+}
+
+// ActIncl adds the inclusion From ⊆ To (the "then L₁ ⊆ π′"
+// consequents).
+type ActIncl struct {
+	From Var
+	To   Var
+}
+
+// ActAddAtom adds the atom A to V. Paired with an AtomIn trigger it
+// implements "X(ρ′) ∈ L₂ ⇒ {X(ρ)} ⊆ π": the extra effect on the
+// restricted location in the conclusion of (Restrict), made
+// conditional for inference (Sections 5 and 6).
+type ActAddAtom struct {
+	A Atom
+	V Var
+}
+
+func (ActUnify) action()   {}
+func (ActIncl) action()    {}
+func (ActAddAtom) action() {}
+
+// Cond is one conditional constraint: when Trigger fires, all Actions
+// run. Reason describes the condition for diagnostics (e.g. "ρ used
+// in restrict body" or "confined expression written in scope").
+type Cond struct {
+	Trigger Trigger
+	Actions []Action
+	Reason  string
+	// Tag optionally links the conditional to an inference candidate
+	// for reporting. Zero means untagged.
+	Tag int
+}
+
+// ---------------------------------------------------------------------
+// System
+
+// System accumulates the constraints generated by one inference run.
+type System struct {
+	Locs *locs.Store
+
+	varNames []string
+
+	Incls      []Incl
+	NotIns     []NotIn
+	KindNotIns []KindNotIn
+	PairNotIns []PairNotIn
+	Conds      []*Cond
+}
+
+// NewSystem returns an empty system over the given location store.
+func NewSystem(ls *locs.Store) *System {
+	return &System{Locs: ls}
+}
+
+// NumVars returns the number of effect variables created.
+func (s *System) NumVars() int { return len(s.varNames) }
+
+// VarName returns the diagnostic name of v.
+func (s *System) VarName(v Var) string {
+	if v < 0 || int(v) >= len(s.varNames) {
+		return fmt.Sprintf("ε%d", v)
+	}
+	return s.varNames[v]
+}
+
+// Fresh creates a new effect variable.
+func (s *System) Fresh(name string) Var {
+	v := Var(len(s.varNames))
+	s.varNames = append(s.varNames, name)
+	return v
+}
+
+// AddIncl records L ⊆ v.
+func (s *System) AddIncl(l Expr, v Var) {
+	if _, isEmpty := l.(Empty); isEmpty {
+		return
+	}
+	s.Incls = append(s.Incls, Incl{L: l, V: v})
+}
+
+// AddAtom records {a} ⊆ v.
+func (s *System) AddAtom(a Atom, v Var) {
+	s.AddIncl(AtomExpr{A: a}, v)
+}
+
+// AddVarIncl records from ⊆ to.
+func (s *System) AddVarIncl(from, to Var) {
+	if from == to {
+		return
+	}
+	s.AddIncl(VarRef{V: from}, to)
+}
+
+// AddNotIn records the check ρ ∉ v.
+func (s *System) AddNotIn(loc locs.Loc, v Var, site source.Span, what string) {
+	s.NotIns = append(s.NotIns, NotIn{Loc: loc, V: v, Site: site, What: what})
+}
+
+// AddKindNotIn records the check "no Kind atom in v".
+func (s *System) AddKindNotIn(k Kind, v Var, site source.Span, what string) {
+	s.KindNotIns = append(s.KindNotIns, KindNotIn{Kind: k, V: v, Site: site, What: what})
+}
+
+// AddPairNotIn records the check "no ρ″ with ka(ρ″) ∈ va and
+// kb(ρ″) ∈ vb".
+func (s *System) AddPairNotIn(ka Kind, va Var, kb Kind, vb Var, site source.Span, what string) {
+	s.PairNotIns = append(s.PairNotIns, PairNotIn{KindA: ka, VA: va, KindB: kb, VB: vb, Site: site, What: what})
+}
+
+// AddCond records a conditional constraint.
+func (s *System) AddCond(c *Cond) {
+	s.Conds = append(s.Conds, c)
+}
+
+// ---------------------------------------------------------------------
+// Normalization (Figure 4b)
+
+// Norm is a normal-form inclusion constraint: either M ⊆ ε or
+// M₁ ∩ M₂ ⊆ ε where M is an atom or a variable.
+type Norm struct {
+	// Left is the sole operand (Inter == false) or the left operand.
+	Left M
+	// Right is the right ∩ operand when Inter is set.
+	Right M
+	Inter bool
+	V     Var
+}
+
+// M is an atom-or-variable operand of a normal-form constraint.
+type M struct {
+	IsAtom bool
+	A      Atom
+	V      Var
+}
+
+// AtomM wraps an atom operand.
+func AtomM(a Atom) M { return M{IsAtom: true, A: a} }
+
+// VarM wraps a variable operand.
+func VarM(v Var) M { return M{V: v} }
+
+func (m M) String() string {
+	if m.IsAtom {
+		return m.A.String()
+	}
+	return fmt.Sprintf("ε%d", m.V)
+}
+
+// Normalize rewrites the system's inclusion constraints into normal
+// form following Figure 4b:
+//
+//	∅ ⊆ ε                 → (drop)
+//	(L₁ ∪ L₂) ⊆ ε         → L₁ ⊆ ε, L₂ ⊆ ε
+//	(∅ ∩ L) ⊆ ε           → (drop)          (and symmetrically)
+//	((L₁ ∪ L₂) ∩ L) ⊆ ε   → ε′ ∩ L ⊆ ε, L₁ ∪ L₂ ⊆ ε′   (ε′ fresh)
+//	(L ∩ (L₁ ∪ L₂)) ⊆ ε   → L ∩ ε′ ⊆ ε, L₁ ∪ L₂ ⊆ ε′   (ε′ fresh)
+//
+// Nested intersections ((L₁∩L₂)∩L ⊆ ε) are likewise hoisted through a
+// fresh variable; the paper notes they never arise once (Down) is
+// merged into the function rule, but handling them keeps Normalize
+// total. The rules preserve least solutions (not arbitrary
+// solutions), which is all satisfiability testing needs.
+func (s *System) Normalize() []Norm {
+	var out []Norm
+	var work []Incl
+	work = append(work, s.Incls...)
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		switch l := in.L.(type) {
+		case Empty:
+			// drop
+		case AtomExpr:
+			out = append(out, Norm{Left: AtomM(l.A), V: in.V})
+		case VarRef:
+			if l.V != in.V {
+				out = append(out, Norm{Left: VarM(l.V), V: in.V})
+			}
+		case Union:
+			work = append(work, Incl{L: l.L, V: in.V}, Incl{L: l.R, V: in.V})
+		case Inter:
+			lm, lok := s.asM(l.L, &work)
+			rm, rok := s.asM(l.R, &work)
+			if !lok || !rok {
+				// One side was ∅: the whole intersection is empty.
+				continue
+			}
+			out = append(out, Norm{Left: lm, Right: rm, Inter: true, V: in.V})
+		default:
+			panic(fmt.Sprintf("effects: unknown expression %T", in.L))
+		}
+	}
+	return out
+}
+
+// asM reduces an intersection operand to atom-or-variable form,
+// hoisting unions and nested intersections through a fresh variable
+// (second-to-last rules of Figure 4b). The bool is false for ∅.
+func (s *System) asM(e Expr, work *[]Incl) (M, bool) {
+	switch e := e.(type) {
+	case Empty:
+		return M{}, false
+	case AtomExpr:
+		return AtomM(e.A), true
+	case VarRef:
+		return VarM(e.V), true
+	default: // Union or Inter
+		fresh := s.Fresh("norm")
+		*work = append(*work, Incl{L: e, V: fresh})
+		return VarM(fresh), true
+	}
+}

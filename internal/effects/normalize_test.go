@@ -1,0 +1,194 @@
+package effects
+
+// Property test for Figure 4b: normalization preserves the meaning of
+// arbitrarily nested effect expressions. We build random acyclic
+// systems — layer 0 variables get literal atom sets, and each deeper
+// constraint includes a random expression tree over earlier layers in
+// a fresh variable — evaluate the trees directly (the denotational
+// reading of ∪ and the kind-respecting ∩), and compare against the
+// least solution of the normalized constraints computed by a naive
+// fixpoint evaluator.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"localalias/internal/locs"
+)
+
+// directEval computes the denotation of e given base var sets.
+func directEval(ls *locs.Store, e Expr, sets map[Var]map[Atom]bool) map[Atom]bool {
+	out := map[Atom]bool{}
+	switch e := e.(type) {
+	case Empty:
+	case AtomExpr:
+		a := e.A
+		a.Loc = ls.Find(a.Loc)
+		out[a] = true
+	case VarRef:
+		for a := range sets[e.V] {
+			out[a] = true
+		}
+	case Union:
+		for a := range directEval(ls, e.L, sets) {
+			out[a] = true
+		}
+		for a := range directEval(ls, e.R, sets) {
+			out[a] = true
+		}
+	case Inter:
+		left := directEval(ls, e.L, sets)
+		right := directEval(ls, e.R, sets)
+		rightLocs := map[locs.Loc]bool{}
+		for a := range right {
+			rightLocs[ls.Find(a.Loc)] = true
+		}
+		for a := range left {
+			if rightLocs[ls.Find(a.Loc)] {
+				out[a] = true
+			}
+		}
+	}
+	return out
+}
+
+// fixpointNorms evaluates normalized constraints to a least fixpoint
+// (independent of the solve package).
+func fixpointNorms(ls *locs.Store, norms []Norm, nvars int) []map[Atom]bool {
+	sets := make([]map[Atom]bool, nvars)
+	for i := range sets {
+		sets[i] = map[Atom]bool{}
+	}
+	evalM := func(m M) map[Atom]bool {
+		if m.IsAtom {
+			a := m.A
+			a.Loc = ls.Find(a.Loc)
+			return map[Atom]bool{a: true}
+		}
+		return sets[m.V]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range norms {
+			src := evalM(n.Left)
+			if n.Inter {
+				rightLocs := map[locs.Loc]bool{}
+				for a := range evalM(n.Right) {
+					rightLocs[ls.Find(a.Loc)] = true
+				}
+				filtered := map[Atom]bool{}
+				for a := range src {
+					if rightLocs[ls.Find(a.Loc)] {
+						filtered[a] = true
+					}
+				}
+				src = filtered
+			}
+			for a := range src {
+				if !sets[n.V][a] {
+					sets[n.V][a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return sets
+}
+
+// randomExpr builds an expression tree over the given vars/locs.
+func randomExpr(r *rand.Rand, vars []Var, rhos []locs.Loc, depth int) Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Empty{}
+		case 1:
+			return AtomExpr{A: Atom{Kind: Kind(r.Intn(4)), Loc: rhos[r.Intn(len(rhos))]}}
+		default:
+			if len(vars) == 0 {
+				return Empty{}
+			}
+			return VarRef{V: vars[r.Intn(len(vars))]}
+		}
+	}
+	l := randomExpr(r, vars, rhos, depth-1)
+	rt := randomExpr(r, vars, rhos, depth-1)
+	if r.Intn(2) == 0 {
+		return Union{L: l, R: rt}
+	}
+	return Inter{L: l, R: rt}
+}
+
+func TestNormalizePreservesMeaningQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ls := locs.NewStore()
+		sys := NewSystem(ls)
+		var rhos []locs.Loc
+		for i := 0; i < 2+r.Intn(5); i++ {
+			rhos = append(rhos, ls.Fresh("r"))
+		}
+
+		// Layer 0: seeded variables.
+		base := map[Var]map[Atom]bool{}
+		var layer []Var
+		for i := 0; i < 2+r.Intn(4); i++ {
+			v := sys.Fresh("seed")
+			base[v] = map[Atom]bool{}
+			for j := 0; j < r.Intn(4); j++ {
+				a := Atom{Kind: Kind(r.Intn(4)), Loc: rhos[r.Intn(len(rhos))]}
+				sys.AddAtom(a, v)
+				base[v][a] = true
+			}
+			layer = append(layer, v)
+		}
+
+		// Deeper layers: each output var receives one random tree
+		// over everything defined so far.
+		type check struct {
+			v    Var
+			e    Expr
+			deps []Var
+		}
+		var checks []check
+		for d := 0; d < 1+r.Intn(3); d++ {
+			e := randomExpr(r, layer, rhos, 2+r.Intn(2))
+			v := sys.Fresh("out")
+			sys.AddIncl(e, v)
+			checks = append(checks, check{v: v, e: e})
+			layer = append(layer, v)
+		}
+
+		norms := sys.Normalize()
+		sets := fixpointNorms(ls, norms, sys.NumVars())
+
+		// Evaluate trees directly, in definition order (acyclic).
+		direct := map[Var]map[Atom]bool{}
+		for v, s := range base {
+			direct[v] = s
+		}
+		for _, c := range checks {
+			direct[c.v] = directEval(ls, c.e, direct)
+		}
+
+		for _, c := range checks {
+			want := direct[c.v]
+			got := sets[c.v]
+			if len(want) != len(got) {
+				t.Logf("seed %d: var %d: got %d atoms want %d (%s)",
+					seed, c.v, len(got), len(want), String(c.e))
+				return false
+			}
+			for a := range want {
+				if !got[a] {
+					t.Logf("seed %d: var %d missing %v", seed, c.v, a)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package golden runs the expectation-comment test suite: each
+// testdata/*.mc program carries inline expectations and the harness
+// verifies the pipeline produces exactly the diagnostics they demand.
+//
+// Expectation syntax (anywhere in a line; a line may carry several,
+// each introduced by its own "//"):
+//
+//	//TYPES-ERR: substr    standard type error on this line
+//	//CHECK-ERR: substr    restrict/confine violation on this line
+//	//INFER-RESTRICT       restrict inference marks this let
+//	//INFER-KEEP           restrict inference leaves this let alone
+//
+// A file with no expectations must compile and check cleanly. Files
+// with INFER expectations additionally run restrict inference (with
+// parameter candidates enabled).
+package golden
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"localalias/internal/ast"
+	"localalias/internal/parser"
+	"localalias/internal/restrict"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+type expectation struct {
+	line   int
+	phase  string // "types" or "check"
+	substr string
+}
+
+var expRE = regexp.MustCompile(`^(TYPES|CHECK)-ERR:\s*(.+?)\s*$`)
+
+var inferRE = regexp.MustCompile(`^INFER-(RESTRICT|KEEP)\s*$`)
+
+type inferExp struct {
+	line     int
+	restrict bool
+}
+
+func parseInferExpectations(src string) []inferExp {
+	var out []inferExp
+	for i, line := range strings.Split(src, "\n") {
+		for _, seg := range strings.Split(line, "//")[1:] {
+			if m := inferRE.FindStringSubmatch(strings.TrimSpace(seg)); m != nil {
+				out = append(out, inferExp{line: i + 1, restrict: m[1] == "RESTRICT"})
+			}
+		}
+	}
+	return out
+}
+
+// parseExpectations extracts every expectation marker; a line may
+// carry several, each introduced by its own "//".
+func parseExpectations(src string) []expectation {
+	var out []expectation
+	for i, line := range strings.Split(src, "\n") {
+		segs := strings.Split(line, "//")
+		for _, seg := range segs[1:] {
+			if m := expRE.FindStringSubmatch(strings.TrimSpace(seg)); m != nil {
+				phase := "types"
+				if m[1] == "CHECK" {
+					phase = "check"
+				}
+				out = append(out, expectation{line: i + 1, phase: phase, substr: m[2]})
+			}
+		}
+	}
+	return out
+}
+
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.mc")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden files found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			exps := parseExpectations(src)
+
+			var diags source.Diagnostics
+			file := source.NewFile(filepath.Base(path), src)
+			prog := parser.ParseFile(file, &diags)
+			if diags.HasErrors() {
+				t.Fatalf("golden files must parse:\n%s", diags.String())
+			}
+			tinfo := types.Check(prog, &diags)
+			typeErrs := collect(&diags, file)
+
+			var checkErrs []diagAt
+			if !diags.HasErrors() {
+				var cdiags source.Diagnostics
+				restrict.Check(tinfo, &cdiags)
+				checkErrs = collect(&cdiags, file)
+			}
+
+			got := map[string][]diagAt{"types": typeErrs, "check": checkErrs}
+			used := map[string]map[int]bool{"types": {}, "check": {}}
+
+			for _, exp := range exps {
+				found := false
+				for i, d := range got[exp.phase] {
+					if used[exp.phase][i] {
+						continue
+					}
+					if d.line == exp.line && strings.Contains(d.msg, exp.substr) {
+						used[exp.phase][i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("line %d: expected %s error containing %q; got:\n%s",
+						exp.line, exp.phase, exp.substr, render(got[exp.phase]))
+				}
+			}
+			// No unexpected errors.
+			for phase, ds := range got {
+				for i, d := range ds {
+					if !used[phase][i] {
+						t.Errorf("unexpected %s error at line %d: %s", phase, d.line, d.msg)
+					}
+				}
+			}
+
+			// Inference expectations (separate parse: marking mutates
+			// the tree).
+			iexps := parseInferExpectations(src)
+			if len(iexps) == 0 {
+				return
+			}
+			var idiags source.Diagnostics
+			iprog := parser.ParseFile(source.NewFile(filepath.Base(path), src), &idiags)
+			itinfo := types.Check(iprog, &idiags)
+			if idiags.HasErrors() {
+				t.Fatalf("re-check:\n%s", idiags.String())
+			}
+			restrict.Infer(itinfo, &idiags, restrict.Options{Params: true})
+			marks := map[int]bool{}
+			astInspectDecls(iprog, func(line int, restricted bool) {
+				if restricted {
+					marks[line] = true
+				}
+			}, file)
+			for _, e := range iexps {
+				if e.restrict && !marks[e.line] {
+					t.Errorf("line %d: expected inference to mark restrict", e.line)
+				}
+				if !e.restrict && marks[e.line] {
+					t.Errorf("line %d: expected inference to keep the let", e.line)
+				}
+			}
+		})
+	}
+}
+
+type diagAt struct {
+	line int
+	msg  string
+}
+
+func collect(ds *source.Diagnostics, f *source.File) []diagAt {
+	var out []diagAt
+	for _, d := range ds.List {
+		if d.Severity != source.Error {
+			continue
+		}
+		out = append(out, diagAt{line: f.Position(d.Span.Start).Line, msg: d.Message})
+	}
+	return out
+}
+
+func render(ds []diagAt) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "  line %d: %s\n", d.line, d.msg)
+	}
+	return b.String()
+}
+
+// astInspectDecls reports each DeclStmt's line and restrict mark.
+func astInspectDecls(prog *ast.Program, f func(line int, restricted bool), file *source.File) {
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeclStmt); ok {
+			f(file.Position(d.Sp.Start).Line, d.Restrict)
+		}
+		return true
+	})
+}

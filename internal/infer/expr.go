@@ -1,0 +1,261 @@
+package infer
+
+import (
+	"localalias/internal/ast"
+	"localalias/internal/effects"
+	"localalias/internal/locs"
+	"localalias/internal/types"
+)
+
+// mkRef creates a fresh ref node over an existing content type.
+func (b *builder) mkRef(cell locs.Loc, elem *LType, name string) *LType {
+	n := b.newNode(LRef, name)
+	n.cell = cell
+	n.elem = elem
+	b.sys.AddAtom(effects.Atom{Kind: effects.LocAtom, Loc: cell}, n.tvar)
+	b.sys.AddVarIncl(elem.TVar(), n.tvar)
+	return n
+}
+
+// matchesConfined reports whether e is an occurrence of the confined
+// expression pat (syntactic equality with symbol-resolved variables;
+// see types.Info.EqualResolved).
+func (inf *inferencer) matchesConfined(e, pat ast.Expr) bool {
+	return inf.tinfo.EqualResolved(e, pat)
+}
+
+// expr infers the located type of e, adding its evaluation effects to
+// sink. The result is also recorded in Result.LTypes.
+func (inf *inferencer) expr(e ast.Expr, sink effects.Var, env effects.Var) *LType {
+	// Active confine scopes: occurrences of the confined expression
+	// denote the effectful variable x_π′ (innermost first).
+	for i := len(inf.confines) - 1; i >= 0; i-- {
+		ctx := inf.confines[i]
+		if inf.matchesConfined(e, ctx.expr) {
+			inf.sys.AddVarIncl(ctx.pi, sink)
+			inf.res.LTypes[e] = ctx.xT
+			return ctx.xT
+		}
+	}
+	t := inf.expr1(e, sink, env)
+	inf.res.LTypes[e] = t
+	return t
+}
+
+func (inf *inferencer) expr1(e ast.Expr, sink effects.Var, env effects.Var) *LType {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return inf.b.intT
+
+	case *ast.VarExpr:
+		sym := inf.tinfo.Uses[e]
+		if sym == nil {
+			return inf.b.intT
+		}
+		if sym.Kind == types.SymGlobal {
+			gi := inf.globals[sym.Name]
+			if gi == nil {
+				return inf.b.intT
+			}
+			// A scalar global used as a value reads its cell.
+			if gi.cell != locs.NoLoc {
+				inf.sys.AddAtom(effects.Atom{Kind: effects.Read, Loc: gi.cell}, sink)
+			}
+			return gi.content
+		}
+		if lt := inf.res.SymLTypes[sym]; lt != nil {
+			return lt
+		}
+		return inf.b.intT
+
+	case *ast.NewExpr:
+		if sd := inf.tinfo.StructAllocs[e]; sd != nil {
+			// Heap struct allocation: fresh instance whose cells are
+			// conservatively multi (a new-site may execute many
+			// times); alloc effects on the storage the instantiation
+			// created. The ref's own cell is a placeholder naming the
+			// instance — field storage lives in the instance's field
+			// cells.
+			before := len(inf.b.cellsMade)
+			instT := inf.b.build(&types.Named{Decl: sd}, modeHeap,
+				"new "+sd.Name, nil)
+			for _, c := range inf.b.cellsMade[before:] {
+				if inf.ls.InfoOf(c).Origins > 0 {
+					inf.sys.AddAtom(effects.Atom{Kind: effects.Alloc, Loc: c}, sink)
+				}
+			}
+			return inf.b.mkRef(inf.ls.Fresh("&"+sd.Name), instT, "new "+sd.Name)
+		}
+		initT := inf.expr(e.Init, sink, env)
+		rho := inf.ls.FreshStorage("new@" + posOf(inf, e))
+		inf.ls.MarkMulti(rho)
+		inf.sys.AddAtom(effects.Atom{Kind: effects.Alloc, Loc: rho}, sink)
+		return inf.b.mkRef(rho, initT, "new")
+
+	case *ast.DerefExpr:
+		xT := inf.expr(e.X, sink, env)
+		if xT.Kind() != LRef {
+			return inf.b.intT
+		}
+		inf.sys.AddAtom(effects.Atom{Kind: effects.Read, Loc: xT.Cell()}, sink)
+		return xT.Elem()
+
+	case *ast.AddrExpr:
+		cell, content := inf.place(e.X, sink, env)
+		if content == nil {
+			return inf.b.mkRef(inf.ls.Fresh("&?"), inf.b.intT, "&?")
+		}
+		if cell == locs.NoLoc {
+			// Addressing aggregate storage (a struct global): the
+			// pointer's cell is a placeholder naming the instance;
+			// field storage lives in the instance's field cells.
+			cell = inf.ls.Fresh("&" + ast.ExprString(e.X))
+		}
+		return inf.b.mkRef(cell, content, "&"+ast.ExprString(e.X))
+
+	case *ast.IndexExpr, *ast.FieldExpr:
+		cell, content := inf.place(e, sink, env)
+		if content == nil {
+			return inf.b.intT
+		}
+		if cell != locs.NoLoc {
+			inf.sys.AddAtom(effects.Atom{Kind: effects.Read, Loc: cell}, sink)
+		}
+		return content
+
+	case *ast.BinExpr:
+		inf.expr(e.X, sink, env)
+		inf.expr(e.Y, sink, env)
+		return inf.b.intT
+
+	case *ast.UnExpr:
+		inf.expr(e.X, sink, env)
+		return inf.b.intT
+
+	case *ast.CallExpr:
+		return inf.call(e, sink, env)
+
+	default:
+		return inf.b.intT
+	}
+}
+
+func posOf(inf *inferencer, e ast.Expr) string {
+	if inf.tinfo.Prog.File == nil {
+		return "?"
+	}
+	return inf.tinfo.Prog.File.Position(e.Span().Start).String()
+}
+
+// call infers a builtin or user call.
+func (inf *inferencer) call(e *ast.CallExpr, sink effects.Var, env effects.Var) *LType {
+	if types.IsLockOp(e.Fun) {
+		if len(e.Args) == 1 {
+			at := inf.expr(e.Args[0], sink, env)
+			if at.Kind() == LRef {
+				// The change_type builtins update the resource's
+				// state: a write effect on its cell.
+				inf.sys.AddAtom(effects.Atom{Kind: effects.Write, Loc: at.Cell()}, sink)
+			}
+		}
+		return inf.b.unitT
+	}
+	switch e.Fun {
+	case "work":
+		return inf.b.unitT
+	case "print":
+		for _, a := range e.Args {
+			inf.expr(a, sink, env)
+		}
+		return inf.b.unitT
+	}
+	fi := inf.funs[e.Fun]
+	if fi == nil {
+		for _, a := range e.Args {
+			inf.expr(a, sink, env)
+		}
+		return inf.b.intT
+	}
+	for i, a := range e.Args {
+		at := inf.expr(a, sink, env)
+		if i < len(fi.params) && at.Kind() == fi.params[i].Kind() {
+			inf.b.unify(at, fi.params[i])
+		}
+	}
+	// The call has the callee's latent effect.
+	inf.sys.AddVarIncl(fi.eff, sink)
+	return fi.result
+}
+
+// place infers e as a place, returning its storage cell and content
+// type. Index/selector subexpressions contribute their evaluation
+// effects to sink; addressing itself has no effect.
+func (inf *inferencer) place(e ast.Expr, sink effects.Var, env effects.Var) (locs.Loc, *LType) {
+	cell, content := inf.place1(e, sink, env)
+	if content != nil {
+		inf.res.LTypes[e] = content
+	}
+	if cell != locs.NoLoc {
+		inf.res.PlaceCells[e] = cell
+	}
+	return cell, content
+}
+
+func (inf *inferencer) place1(e ast.Expr, sink effects.Var, env effects.Var) (locs.Loc, *LType) {
+	// Confined occurrences are values, not places; but a place
+	// subexpression can itself be an occurrence (e.g. (*p).f where
+	// *p is confined? — *p is not a bare place under confine, the
+	// whole of e is matched first by expr()).
+	switch e := e.(type) {
+	case *ast.VarExpr:
+		sym := inf.tinfo.Uses[e]
+		if sym == nil || sym.Kind != types.SymGlobal {
+			return locs.NoLoc, nil
+		}
+		gi := inf.globals[sym.Name]
+		if gi == nil {
+			return locs.NoLoc, nil
+		}
+		return gi.cell, gi.content
+
+	case *ast.DerefExpr:
+		xT := inf.expr(e.X, sink, env)
+		if xT.Kind() != LRef {
+			return locs.NoLoc, nil
+		}
+		return xT.Cell(), xT.Elem()
+
+	case *ast.IndexExpr:
+		_, xContent := inf.place(e.X, sink, env)
+		inf.expr(e.Index, sink, env)
+		if xContent == nil || xContent.Kind() != LArray {
+			return locs.NoLoc, nil
+		}
+		return xContent.Cell(), xContent.Elem()
+
+	case *ast.FieldExpr:
+		var sT *LType
+		if e.Arrow {
+			xT := inf.expr(e.X, sink, env)
+			if xT.Kind() != LRef {
+				return locs.NoLoc, nil
+			}
+			sT = xT.Elem()
+		} else {
+			_, sT = inf.place(e.X, sink, env)
+		}
+		if sT == nil || sT.Kind() != LStruct {
+			return locs.NoLoc, nil
+		}
+		st := sT.find()
+		for i, f := range st.decl.Fields {
+			if f.Name == e.Name {
+				return st.fcells[i], st.fields[i]
+			}
+		}
+		return locs.NoLoc, nil
+
+	default:
+		return locs.NoLoc, nil
+	}
+}

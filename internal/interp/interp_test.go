@@ -1,0 +1,621 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"localalias/internal/ast"
+	"localalias/internal/parser"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+func build(t *testing.T, src string) *Interp {
+	t.Helper()
+	var diags source.Diagnostics
+	prog := parser.Parse("test.mc", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse:\n%s", diags.String())
+	}
+	tinfo := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("types:\n%s", diags.String())
+	}
+	return New(tinfo, Options{})
+}
+
+func runMain(t *testing.T, src string) (Value, error) {
+	t.Helper()
+	return build(t, src).Call("main")
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	v, err := runMain(t, `
+fun main(): int {
+    return (1 + 2 * 3 - 4) / 1 % 5;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 3 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestEvalRefsAndAssign(t *testing.T) {
+	v, err := runMain(t, `
+fun main(): int {
+    let p = new 10;
+    *p = *p + 5;
+    let q = p;
+    *q = *q * 2;
+    return *p;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 30 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestEvalControlFlow(t *testing.T) {
+	v, err := runMain(t, `
+fun fib(n: int): int {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+fun main(): int {
+    return fib(10);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 55 {
+		t.Errorf("fib(10) = %v", v)
+	}
+}
+
+func TestEvalWhile(t *testing.T) {
+	v, err := runMain(t, `
+fun main(): int {
+    let i = new 0;
+    let acc = new 0;
+    while (*i < 10) {
+        *acc = *acc + *i;
+        *i = *i + 1;
+    }
+    return *acc;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 45 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestEvalGlobalsArraysStructs(t *testing.T) {
+	v, err := runMain(t, `
+struct pair { a: int; b: int; }
+global tbl: int[4];
+global p: pair;
+
+fun main(): int {
+    tbl[0] = 7;
+    tbl[3] = tbl[0] + 1;
+    p.a = tbl[3];
+    p.b = 2;
+    let pp = new pair;
+    pp->a = p.a * p.b;
+    return pp->a;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 16 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestEvalIndexOutOfBoundsTraps(t *testing.T) {
+	_, err := runMain(t, `
+global tbl: int[4];
+fun main(): int {
+    return tbl[9];
+}
+`)
+	if _, ok := err.(*Trap); !ok {
+		t.Fatalf("want trap, got %v", err)
+	}
+}
+
+func TestEvalDivZeroTraps(t *testing.T) {
+	_, err := runMain(t, `
+fun main(): int {
+    let z = 0;
+    return 1 / z;
+}
+`)
+	if _, ok := err.(*Trap); !ok {
+		t.Fatalf("want trap, got %v", err)
+	}
+}
+
+func TestEvalStepBudget(t *testing.T) {
+	var diags source.Diagnostics
+	prog := parser.Parse("t.mc", `
+fun main() {
+    while (1) {
+        work();
+    }
+}
+`, &diags)
+	tinfo := types.Check(prog, &diags)
+	in := New(tinfo, Options{MaxSteps: 1000})
+	_, err := in.Call("main")
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("want step trap, got %v", err)
+	}
+}
+
+// --- Lock runtime semantics ---
+
+func TestEvalLockingOK(t *testing.T) {
+	in := build(t, `
+global big: lock;
+fun main() {
+    spin_lock(&big);
+    spin_unlock(&big);
+}
+`)
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if in.LockEvents != 2 {
+		t.Errorf("lock events: %d", in.LockEvents)
+	}
+}
+
+func TestEvalDoubleLockTraps(t *testing.T) {
+	_, err := runMain(t, `
+global big: lock;
+fun main() {
+    spin_lock(&big);
+    spin_lock(&big);
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "already held") {
+		t.Fatalf("want self-deadlock trap, got %v", err)
+	}
+}
+
+func TestEvalUnlockNotHeldTraps(t *testing.T) {
+	_, err := runMain(t, `
+global big: lock;
+fun main() {
+    spin_unlock(&big);
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "not held") {
+		t.Fatalf("want trap, got %v", err)
+	}
+}
+
+// --- Restrict semantics (Section 3.2) ---
+
+func TestRestrictValidUse(t *testing.T) {
+	v, err := runMain(t, `
+fun main(): int {
+    let q = new 5;
+    restrict p = q {
+        *p = *p + 1;
+    }
+    return *q;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write-back step must propagate the update to the original.
+	if v.(int64) != 6 {
+		t.Errorf("write-back: got %v, want 6", v)
+	}
+}
+
+func TestRestrictViolationIsErr(t *testing.T) {
+	_, err := runMain(t, `
+fun main(): int {
+    let q = new 5;
+    restrict p = q {
+        return *q;
+    }
+    return 0;
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err (RestrictErr), got %v", err)
+	}
+}
+
+func TestRestrictWriteViolationIsErr(t *testing.T) {
+	_, err := runMain(t, `
+fun main() {
+    let q = new 5;
+    restrict p = q {
+        *q = 1;
+    }
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err, got %v", err)
+	}
+}
+
+func TestRestrictViolationThroughCall(t *testing.T) {
+	// The violating access happens inside a function called within
+	// the scope — "an access within a scope is either a direct access
+	// or an access that occurs during the execution of a function
+	// called within that scope".
+	_, err := runMain(t, `
+global g: ref int;
+fun peek(): int {
+    return *g;
+}
+fun main(): int {
+    let q = new 5;
+    g = q;
+    restrict p = q {
+        return peek();
+    }
+    return 0;
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err, got %v", err)
+	}
+}
+
+func TestRestrictCopyUsableAfterEscapeIsErr(t *testing.T) {
+	// The copy l' is poisoned after the scope: a pointer that escaped
+	// (dynamically) errs when used later.
+	_, err := runMain(t, `
+global slot: ref int;
+fun main(): int {
+    let q = new 5;
+    restrict p = q {
+        slot = p;
+    }
+    return *slot;
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err on use of escaped copy, got %v", err)
+	}
+}
+
+func TestRestrictDoubleRestrictErr(t *testing.T) {
+	_, err := runMain(t, `
+fun main(): int {
+    let x = new 1;
+    restrict y = x {
+        restrict z = x {
+            return *y + *z;
+        }
+        return 0;
+    }
+    return 0;
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err on double restrict, got %v", err)
+	}
+}
+
+func TestRestrictSequentialOK(t *testing.T) {
+	v, err := runMain(t, `
+fun main(): int {
+    let x = new 1;
+    restrict y = x {
+        *y = *y + 1;
+    }
+    restrict z = x {
+        *z = *z + 1;
+    }
+    return *x;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 3 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestRestrictRemainderScope(t *testing.T) {
+	// DeclStmt with Restrict set behaves as a restrict over the
+	// remainder of the block.
+	var diags source.Diagnostics
+	prog := parser.Parse("t.mc", `
+fun main(): int {
+    let q = new 5;
+    let p = q;
+    *q = 1;
+    return 0;
+}
+`, &diags)
+	tinfo := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatal(diags.String())
+	}
+	// Mark p as restrict (as inference would).
+	for _, f := range prog.Funs {
+		for _, s := range f.Body.Stmts {
+			if d, ok := s.(*ast.DeclStmt); ok && d.Name == "p" {
+				d.Restrict = true
+			}
+		}
+	}
+	in := New(tinfo, Options{})
+	_, err := in.Call("main")
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("restricted remainder scope must err on *q write, got %v", err)
+	}
+}
+
+// --- Confine semantics ---
+
+func TestConfineBasic(t *testing.T) {
+	v, err := runMain(t, `
+global tbl: int[4];
+fun main(): int {
+    tbl[2] = 10;
+    let i = 2;
+    confine &tbl[i] {
+        *&tbl[i] = *&tbl[i] + 5;
+    }
+    return tbl[2];
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 15 {
+		t.Errorf("confine write-back: got %v, want 15", v)
+	}
+}
+
+func TestConfineLockPattern(t *testing.T) {
+	in := build(t, `
+global locks: lock[4];
+fun main(i: int) {
+    confine &locks[i] {
+        spin_lock(&locks[i]);
+        work();
+        spin_unlock(&locks[i]);
+    }
+}
+`)
+	if _, err := in.Call("main", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if in.LockEvents != 2 {
+		t.Errorf("lock events: %d", in.LockEvents)
+	}
+}
+
+func TestConfineViolatingDirectAccessErr(t *testing.T) {
+	// Accessing another path to the same cell inside the confine is
+	// err (here: the very same element through an equal index held in
+	// a different variable, which is a different expression).
+	_, err := runMain(t, `
+global tbl: int[4];
+fun main(): int {
+    let i = 2;
+    let j = 2;
+    confine &tbl[i] {
+        return tbl[j];
+    }
+    return 0;
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err, got %v", err)
+	}
+}
+
+// --- Restrict-qualified parameters (C99 form, checked & executed) ---
+
+func TestParamRestrictRuntimeValid(t *testing.T) {
+	v, err := runMain(t, `
+fun bump(p: restrict ref int) {
+    *p = *p + 1;
+}
+fun main(): int {
+    let q = new 10;
+    bump(q);
+    bump(q);
+    return *q;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 12 {
+		t.Errorf("write-back through restricted params: got %v, want 12", v)
+	}
+}
+
+func TestParamRestrictRuntimeViolation(t *testing.T) {
+	// The callee reaches the argument's cell through a global alias
+	// while the parameter restricts it: err.
+	_, err := runMain(t, `
+global g: ref int;
+fun peek(p: restrict ref int): int {
+    return *g;
+}
+fun main(): int {
+    let q = new 5;
+    g = q;
+    return peek(q);
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err, got %v", err)
+	}
+}
+
+func TestParamRestrictLockOps(t *testing.T) {
+	in := build(t, `
+global locks: lock[4];
+fun with(l: restrict ref lock) {
+    spin_lock(l);
+    spin_unlock(l);
+}
+fun main(i: int) {
+    with(&locks[i]);
+    with(&locks[i]);
+}
+`)
+	if _, err := in.Call("main", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if in.LockEvents != 4 {
+		t.Errorf("lock events: %d", in.LockEvents)
+	}
+}
+
+func TestEvalIrqOps(t *testing.T) {
+	in := build(t, `
+global flags: lock;
+fun main() {
+    irq_save(&flags);
+    irq_restore(&flags);
+}
+`)
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if in.LockEvents != 2 {
+		t.Errorf("events: %d", in.LockEvents)
+	}
+	_, err := runMain(t, `
+global flags: lock;
+fun main() {
+    irq_restore(&flags);
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "not held") {
+		t.Fatalf("restore-without-save must trap: %v", err)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	var diags source.Diagnostics
+	prog := parser.Parse("t.mc", `
+fun main() {
+    print(1);
+    print(2 + 3);
+}
+`, &diags)
+	tinfo := types.Check(prog, &diags)
+	var buf strings.Builder
+	in := New(tinfo, Options{Out: &buf})
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "1\n5\n" {
+		t.Errorf("print output: %q", buf.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if FormatValue(int64(7)) != "7" {
+		t.Error("int")
+	}
+	if FormatValue(Unit) != "unit" {
+		t.Error("unit")
+	}
+	if FormatValue((*Ref)(nil)) != "nil" {
+		t.Error("nil ref")
+	}
+	if FormatValue(&Ref{S: &Cell{}}) != "ref" {
+		t.Error("ref")
+	}
+}
+
+func TestRestrictOfStructPointer(t *testing.T) {
+	// Restricting a pointer to a struct copies the whole instance and
+	// poisons the original's fields; write-back propagates.
+	v, err := runMain(t, `
+struct pair { a: int; b: int; }
+global p: pair;
+fun main(): int {
+    p.a = 1;
+    restrict q = &p {
+        q->a = q->a + 10;
+        q->b = 5;
+    }
+    return p.a * 100 + p.b;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 1105 {
+		t.Errorf("struct write-back: got %v, want 1105", v)
+	}
+	// Violating access through the original struct inside the scope.
+	_, err = runMain(t, `
+struct pair { a: int; b: int; }
+global p: pair;
+fun main(): int {
+    restrict q = &p {
+        return p.a;
+    }
+    return 0;
+}
+`)
+	if _, ok := err.(*RestrictErr); !ok {
+		t.Fatalf("want err, got %v", err)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	in := build(t, `fun main() { work(); }`)
+	if _, err := in.Call("nosuch"); err == nil {
+		t.Error("unknown function must trap")
+	}
+	if _, err := in.Call("main", int64(1)); err == nil {
+		t.Error("arity mismatch must trap")
+	}
+}
+
+func TestGlobalAccessors(t *testing.T) {
+	in := build(t, `
+global n: int;
+global tbl: int[2];
+fun main() { n = 7; }
+`)
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	c := in.GlobalCell("n")
+	if c == nil || c.V.(int64) != 7 {
+		t.Errorf("GlobalCell: %+v", c)
+	}
+	if in.GlobalCell("tbl") != nil {
+		t.Error("aggregate global is not a single cell")
+	}
+	if in.GlobalStorage("tbl") == nil {
+		t.Error("GlobalStorage must return the array")
+	}
+}

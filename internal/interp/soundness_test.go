@@ -1,0 +1,123 @@
+package interp
+
+// Empirical validation of Theorem 1 (soundness): if the restrict
+// checker accepts a program, its evaluation never produces err.
+//
+// A generator produces random well-typed MiniC programs over the
+// paper's core fragment (new/deref/assign/let/restrict, plus
+// conditionals and explicit scopes). Each program is checked with the
+// Section 4 algorithm and then executed; an accepted program that
+// evaluates to err falsifies the theorem. The generator deliberately
+// produces both accepted and rejected programs — aliases are created
+// and used inside restrict scopes at random — so the property is not
+// vacuous, which the distribution test below asserts.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"localalias/internal/parser"
+	"localalias/internal/progen"
+	"localalias/internal/restrict"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+// pipeline compiles, checks, and runs one generated program.
+// Returns (accepted, evaluation error).
+func pipeline(t *testing.T, src string) (bool, error) {
+	t.Helper()
+	var diags source.Diagnostics
+	prog := parser.Parse("gen.mc", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("generator produced unparsable code:\n%s\n%s", diags.String(), src)
+	}
+	tinfo := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("generator produced ill-typed code:\n%s\n%s", diags.String(), src)
+	}
+	var checkDiags source.Diagnostics
+	res := restrict.Check(tinfo, &checkDiags)
+	in := New(tinfo, Options{MaxSteps: 200000})
+	_, err := in.Call("main")
+	return res.OK(), err
+}
+
+func TestSoundnessQuick(t *testing.T) {
+	// Theorem 1 as a quick property over generator seeds.
+	prop := func(seed int64) bool {
+		src := progen.Generate(seed)
+		accepted, err := pipeline(t, src)
+		if !accepted {
+			return true // rejection says nothing; soundness is about accepted programs
+		}
+		if _, isErr := err.(*RestrictErr); isErr {
+			t.Logf("SOUNDNESS VIOLATION (seed %d):\n%s\nerror: %v", seed, src, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoundnessDistribution(t *testing.T) {
+	// The property must not hold vacuously: over a fixed seed range
+	// the generator must produce accepted programs, rejected
+	// programs, AND rejected programs that actually err at runtime
+	// (showing the checker is catching real violations).
+	accepted, rejected, rejectedErred := 0, 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		ok, err := pipeline(t, progen.Generate(seed))
+		if ok {
+			accepted++
+		} else {
+			rejected++
+			if _, isErr := err.(*RestrictErr); isErr {
+				rejectedErred++
+			}
+		}
+	}
+	t.Logf("accepted=%d rejected=%d rejected-and-erred=%d", accepted, rejected, rejectedErred)
+	if accepted < 50 {
+		t.Errorf("generator too hostile: only %d accepted", accepted)
+	}
+	if rejected < 50 {
+		t.Errorf("generator too tame: only %d rejected", rejected)
+	}
+	if rejectedErred == 0 {
+		t.Error("no rejected program actually erred; checker may be vacuously strict")
+	}
+}
+
+func TestCompletenessOnCleanPrograms(t *testing.T) {
+	// A generator variant that never uses aliases inside restrict
+	// scopes: everything it produces must be accepted. (This guards
+	// against the checker rejecting everything.)
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		b.WriteString("fun main(): int {\n")
+		n := 1 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "    let p%d = new %d;\n", i, r.Intn(50))
+			fmt.Fprintf(&b, "    restrict q%d = p%d {\n", i, i)
+			fmt.Fprintf(&b, "        *q%d = *q%d + 1;\n", i, i)
+			b.WriteString("    }\n")
+		}
+		fmt.Fprintf(&b, "    return *p%d;\n", n-1)
+		b.WriteString("}\n")
+		ok, err := pipeline(t, b.String())
+		if !ok {
+			t.Fatalf("clean program rejected (seed %d):\n%s", seed, b.String())
+		}
+		if err != nil {
+			t.Fatalf("clean program failed at runtime (seed %d): %v", seed, err)
+		}
+	}
+}

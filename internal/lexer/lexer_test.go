@@ -1,0 +1,197 @@
+package lexer
+
+import (
+	"testing"
+
+	"localalias/internal/source"
+	"localalias/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]Token, *source.Diagnostics) {
+	t.Helper()
+	var diags source.Diagnostics
+	toks := ScanAll(source.NewFile("test.mc", src), &diags)
+	return toks, &diags
+}
+
+func kinds(toks []Token) []token.Kind {
+	var ks []token.Kind
+	for _, t := range toks {
+		ks = append(ks, t.Kind)
+	}
+	return ks
+}
+
+func TestScanEmpty(t *testing.T) {
+	toks, diags := scan(t, "")
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %s", diags)
+	}
+	if len(toks) != 1 || toks[0].Kind != token.EOF {
+		t.Fatalf("want single EOF, got %v", kinds(toks))
+	}
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	toks, diags := scan(t, "let restrict confine in new fun foo bar_2 _x ref")
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %s", diags)
+	}
+	want := []token.Kind{
+		token.KwLet, token.KwRestrict, token.KwConfine, token.KwIn,
+		token.KwNew, token.KwFun, token.Ident, token.Ident, token.Ident,
+		token.KwRef, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if toks[6].Lit != "foo" || toks[7].Lit != "bar_2" || toks[8].Lit != "_x" {
+		t.Errorf("identifier spellings wrong: %q %q %q", toks[6].Lit, toks[7].Lit, toks[8].Lit)
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	toks, diags := scan(t, "+ - * / % & && || ! = == != < <= > >= -> . ( ) [ ] { } , ; : ?")
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %s", diags)
+	}
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.AndAnd, token.OrOr, token.Not, token.Assign,
+		token.Eq, token.NotEq, token.Less, token.LessEq, token.Greater,
+		token.GreatEq, token.Arrow, token.Dot, token.LParen, token.RParen,
+		token.LBrack, token.RBrack, token.LBrace, token.RBrace,
+		token.Comma, token.Semi, token.Colon, token.Question, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %d want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanMaximalMunch(t *testing.T) {
+	// "a&&b" must be AndAnd, "a&b" must be Amp, "a->b" Arrow not Minus+Greater.
+	toks, _ := scan(t, "a&&b a&b a->b a-b")
+	want := []token.Kind{
+		token.Ident, token.AndAnd, token.Ident,
+		token.Ident, token.Amp, token.Ident,
+		token.Ident, token.Arrow, token.Ident,
+		token.Ident, token.Minus, token.Ident,
+		token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: got %v want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	toks, diags := scan(t, "0 42 123456")
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %s", diags)
+	}
+	if toks[0].Lit != "0" || toks[1].Lit != "42" || toks[2].Lit != "123456" {
+		t.Errorf("number literals wrong: %q %q %q", toks[0].Lit, toks[1].Lit, toks[2].Lit)
+	}
+}
+
+func TestScanMalformedNumber(t *testing.T) {
+	toks, diags := scan(t, "12ab")
+	if !diags.HasErrors() {
+		t.Fatal("want error for malformed number")
+	}
+	if toks[0].Kind != token.Illegal {
+		t.Errorf("want Illegal token, got %v", toks[0].Kind)
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks, diags := scan(t, "a // line comment\nb /* block\ncomment */ c")
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %s", diags)
+	}
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestScanUnterminatedComment(t *testing.T) {
+	_, diags := scan(t, "a /* never closed")
+	if !diags.HasErrors() {
+		t.Fatal("want error for unterminated comment")
+	}
+}
+
+func TestScanIllegalChar(t *testing.T) {
+	toks, diags := scan(t, "a $ b")
+	if !diags.HasErrors() {
+		t.Fatal("want error for illegal character")
+	}
+	if toks[1].Kind != token.Illegal {
+		t.Errorf("want Illegal, got %v", toks[1].Kind)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	f := source.NewFile("pos.mc", "let x = 10;\nlet y = 2;\n")
+	var diags source.Diagnostics
+	toks := ScanAll(f, &diags)
+	// Token "10" starts at line 1 column 9.
+	var ten Token
+	for _, tk := range toks {
+		if tk.Lit == "10" {
+			ten = tk
+		}
+	}
+	pos := f.Position(ten.Span.Start)
+	if pos.Line != 1 || pos.Column != 9 {
+		t.Errorf("position of 10: got %v, want 1:9", pos)
+	}
+	// Second "let" is line 2 column 1.
+	lets := 0
+	for _, tk := range toks {
+		if tk.Kind == token.KwLet {
+			lets++
+			if lets == 2 {
+				pos := f.Position(tk.Span.Start)
+				if pos.Line != 2 || pos.Column != 1 {
+					t.Errorf("position of second let: got %v, want 2:1", pos)
+				}
+			}
+		}
+	}
+	if lets != 2 {
+		t.Fatalf("expected 2 let tokens, got %d", lets)
+	}
+}
+
+func TestScanWholeProgram(t *testing.T) {
+	src := `
+struct dev { l: lock; count: int; }
+global locks: lock[16];
+fun do_with_lock(l: ref lock) {
+    spin_lock(l);
+    work();
+    spin_unlock(l);
+}
+`
+	_, diags := scan(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %s", diags)
+	}
+}

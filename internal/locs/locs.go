@@ -1,0 +1,178 @@
+// Package locs manages abstract memory locations (the ρ of the paper).
+//
+// Every piece of storage the analysis can name — a global cell, the
+// elements of an array, a struct field, a cell allocated by new, or
+// the fresh location introduced for a restricted/confined binding —
+// is assigned an abstract location. The unification-based may-alias
+// analysis of the paper (after Steensgaard) merges locations with a
+// union-find; names whose types mention the same representative
+// location may alias.
+//
+// Each location carries two pieces of metadata used elsewhere:
+//
+//   - origins: how many distinct storage origins the representative
+//     stands for. A location standing for a single concrete cell
+//     ("linear") admits strong updates in the flow-sensitive
+//     qualifier analysis; array-element locations and unions of
+//     several origins do not.
+//   - restricted: whether the location is the fresh ρ' of a restrict
+//     or confine binding, which is linear within its scope by
+//     construction (the whole point of the constructs).
+package locs
+
+// Store owns all abstract locations of one analysis run.
+type Store struct {
+	parent     []Loc
+	rank       []int8
+	info       []Info
+	numUnifies int
+	onUnify    []func(winner, loser Loc)
+}
+
+// Loc names one abstract location. Use Store.Find to canonicalize
+// before comparing.
+type Loc int32
+
+// NoLoc is the absent location.
+const NoLoc Loc = -1
+
+// Info is per-location metadata. After unification the representative
+// holds the merged metadata.
+type Info struct {
+	// Name is a debugging/diagnostic label, e.g. "locks[]", "dev.l",
+	// "new@12:5", "p'".
+	Name string
+	// Origins counts distinct storage origins merged into this class.
+	Origins int
+	// Multi marks locations that stand for several concrete cells
+	// even with a single origin (array elements).
+	Multi bool
+	// Restricted marks the fresh ρ' of a restrict/confine binding.
+	Restricted bool
+}
+
+// NewStore returns an empty location store.
+func NewStore() *Store { return &Store{} }
+
+// Len returns the number of locations created (representatives and
+// merged members alike).
+func (s *Store) Len() int { return len(s.parent) }
+
+// NumUnifies returns how many unifications have been performed; used
+// by complexity benchmarks.
+func (s *Store) NumUnifies() int { return s.numUnifies }
+
+// Fresh creates a new location with no storage origin (a type
+// placeholder). It becomes meaningful once storage is attached via
+// MarkStorage or by unification.
+func (s *Store) Fresh(name string) Loc {
+	l := Loc(len(s.parent))
+	s.parent = append(s.parent, l)
+	s.rank = append(s.rank, 0)
+	s.info = append(s.info, Info{Name: name})
+	return l
+}
+
+// FreshStorage creates a location that is itself one storage origin
+// (a global cell, a new-site, a struct field).
+func (s *Store) FreshStorage(name string) Loc {
+	l := s.Fresh(name)
+	s.info[l].Origins = 1
+	return l
+}
+
+// FreshArray creates a location for the elements of an array: one
+// origin, but standing for many cells, so never linear.
+func (s *Store) FreshArray(name string) Loc {
+	l := s.FreshStorage(name)
+	s.info[l].Multi = true
+	return l
+}
+
+// FreshRestricted creates the ρ' of a restrict/confine binding: it
+// stands for exactly one cell within its scope.
+func (s *Store) FreshRestricted(name string) Loc {
+	l := s.FreshStorage(name)
+	s.info[l].Restricted = true
+	return l
+}
+
+// Find returns the representative of l, with path compression.
+func (s *Store) Find(l Loc) Loc {
+	for s.parent[l] != l {
+		s.parent[l] = s.parent[s.parent[l]]
+		l = s.parent[l]
+	}
+	return l
+}
+
+// Same reports whether a and b are in the same class.
+func (s *Store) Same(a, b Loc) bool { return s.Find(a) == s.Find(b) }
+
+// Info returns the metadata of l's representative.
+func (s *Store) InfoOf(l Loc) Info { return s.info[s.Find(l)] }
+
+// Name returns the diagnostic label of l's class.
+func (s *Store) Name(l Loc) string { return s.info[s.Find(l)].Name }
+
+// MarkStorage records an additional storage origin for l's class.
+func (s *Store) MarkStorage(l Loc) {
+	s.info[s.Find(l)].Origins++
+}
+
+// MarkMulti records that l stands for several concrete cells.
+func (s *Store) MarkMulti(l Loc) {
+	s.info[s.Find(l)].Multi = true
+}
+
+// Linear reports whether l's class stands for exactly one concrete
+// cell, which is what permits strong updates: at most one storage
+// origin and not an array-element class. The fresh ρ' of a successful
+// restrict/confine satisfies this by construction (one origin, merged
+// with nothing); a failed candidate's ρ' is unified with the outer
+// location and correctly inherits its multiplicity.
+func (s *Store) Linear(l Loc) bool {
+	in := s.info[s.Find(l)]
+	return !in.Multi && in.Origins <= 1
+}
+
+// OnUnify registers a callback invoked after each union with the
+// surviving representative and the absorbed representative. The
+// constraint solver uses this to merge graph nodes.
+func (s *Store) OnUnify(f func(winner, loser Loc)) {
+	s.onUnify = append(s.onUnify, f)
+}
+
+// Unify merges the classes of a and b and returns the representative.
+// Metadata is combined: origins add, multi or-s, restricted or-s, and
+// the name of the higher-origin side wins (ties prefer a's).
+func (s *Store) Unify(a, b Loc) Loc {
+	ra, rb := s.Find(a), s.Find(b)
+	if ra == rb {
+		return ra
+	}
+	s.numUnifies++
+	winner, loser := ra, rb
+	if s.rank[winner] < s.rank[loser] {
+		winner, loser = loser, winner
+	}
+	if s.rank[winner] == s.rank[loser] {
+		s.rank[winner]++
+	}
+	wi, li := s.info[winner], s.info[loser]
+	merged := Info{
+		Name:       wi.Name,
+		Origins:    wi.Origins + li.Origins,
+		Multi:      wi.Multi || li.Multi,
+		Restricted: wi.Restricted || li.Restricted,
+	}
+	if wi.Name == "" || (li.Origins > wi.Origins && li.Name != "") {
+		merged.Name = li.Name
+	}
+	s.parent[loser] = winner
+	s.info[winner] = merged
+	for _, f := range s.onUnify {
+		f(winner, loser)
+	}
+	return winner
+}

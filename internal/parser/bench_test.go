@@ -1,0 +1,97 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"localalias/internal/lexer"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+// benchSource is a representative driver-style module, repeated to
+// the requested approximate size.
+func benchSource(copies int) string {
+	unit := `
+struct dev%d { l: lock; n: int; }
+global locks%d: lock[8];
+global d%d: dev%d;
+
+fun handle%d(i: int, v: int): int {
+    spin_lock(&locks%d[i]);
+    if (v > 0) {
+        d%d.n = d%d.n + v;
+    } else {
+        work();
+    }
+    spin_unlock(&locks%d[i]);
+    let t = new v;
+    restrict p = t {
+        *p = *p * 2;
+    }
+    return *t;
+}
+`
+	var b strings.Builder
+	for i := 0; i < copies; i++ {
+		b.WriteString(strings.NewReplacer("%d", itoa(i)).Replace(unit))
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkLexer(b *testing.B) {
+	src := benchSource(50)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		var diags source.Diagnostics
+		f := source.NewFile("bench.mc", src)
+		toks := lexer.ScanAll(f, &diags)
+		if diags.HasErrors() || len(toks) == 0 {
+			b.Fatal("lex failed")
+		}
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	src := benchSource(50)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		var diags source.Diagnostics
+		prog := Parse("bench.mc", src, &diags)
+		if diags.HasErrors() || len(prog.Funs) == 0 {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func BenchmarkTypeCheck(b *testing.B) {
+	src := benchSource(50)
+	var diags source.Diagnostics
+	prog := Parse("bench.mc", src, &diags)
+	if diags.HasErrors() {
+		b.Fatal(diags.String())
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var td source.Diagnostics
+		types.Check(prog, &td)
+		if td.HasErrors() {
+			b.Fatal(td.String())
+		}
+	}
+}

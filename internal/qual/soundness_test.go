@@ -1,0 +1,178 @@
+package qual
+
+// Soundness of the flow-sensitive locking analysis, quick-checked:
+// when the analysis verifies every site (zero type errors in plain
+// mode), no execution of the (deterministic, input-free) program may
+// trap on a lock operation. This complements the restrict soundness
+// property (Theorem 1, internal/interp): there the type system, here
+// the client analysis.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"localalias/internal/infer"
+	"localalias/internal/interp"
+	"localalias/internal/parser"
+	"localalias/internal/solve"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+// lockGen generates a random deterministic locking program: scalar
+// and array locks, literal indices, branches on constants, helper
+// calls, balanced and unbalanced sequences.
+type lockGen struct {
+	r       *rand.Rand
+	b       strings.Builder
+	indent  int
+	helpers int
+}
+
+func (g *lockGen) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// lockExpr picks a random lock place expression.
+func (g *lockGen) lockExpr() string {
+	switch g.r.Intn(3) {
+	case 0:
+		return "&big0"
+	case 1:
+		return "&big1"
+	default:
+		return fmt.Sprintf("&tbl[%d]", g.r.Intn(4))
+	}
+}
+
+func (g *lockGen) stmts(depth, budget int) {
+	for i := 0; i < budget; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *lockGen) stmt(depth int) {
+	switch g.r.Intn(6) {
+	case 0, 1: // balanced pair (the common case)
+		l := g.lockExpr()
+		g.line("spin_lock(%s);", l)
+		if g.r.Intn(2) == 0 {
+			g.line("work();")
+		}
+		g.line("spin_unlock(%s);", l)
+	case 2: // lone op (often a bug)
+		op := "spin_lock"
+		if g.r.Intn(2) == 0 {
+			op = "spin_unlock"
+		}
+		g.line("%s(%s);", op, g.lockExpr())
+	case 3: // branch on a constant
+		if depth > 0 {
+			g.line("if (%d) {", g.r.Intn(2))
+			g.indent++
+			g.stmts(depth-1, 1+g.r.Intn(2))
+			g.indent--
+			g.line("} else {")
+			g.indent++
+			g.stmts(depth-1, 1+g.r.Intn(2))
+			g.indent--
+			g.line("}")
+		}
+	case 4: // helper call
+		if g.helpers > 0 {
+			g.line("h%d();", g.r.Intn(g.helpers))
+		}
+	default:
+		g.line("work();")
+	}
+}
+
+func generateLockProgram(seed int64) string {
+	g := &lockGen{r: rand.New(rand.NewSource(seed))}
+	g.line("global big0: lock;")
+	g.line("global big1: lock;")
+	g.line("global tbl: lock[4];")
+	g.line("")
+	nHelpers := g.r.Intn(3)
+	for i := 0; i < nHelpers; i++ {
+		g.line("fun h%d() {", i)
+		g.indent++
+		g.stmts(1, 1+g.r.Intn(2))
+		g.indent--
+		g.line("}")
+		g.helpers++
+	}
+	g.line("fun main() {")
+	g.indent++
+	g.stmts(2, 2+g.r.Intn(4))
+	g.indent--
+	g.line("}")
+	return g.b.String()
+}
+
+// analyzeAndRun returns (plain-mode error count, runtime lock trap).
+func analyzeAndRun(t *testing.T, src string) (int, error) {
+	t.Helper()
+	var diags source.Diagnostics
+	prog := parser.Parse("lock.mc", src, &diags)
+	tinfo := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("generator output invalid:\n%s\n%s", diags.String(), src)
+	}
+	res := infer.Run(tinfo, &diags, infer.Options{})
+	sol := solve.Solve(res.Sys)
+	rep := Analyze(res, sol, ModePlain)
+
+	in := interp.New(tinfo, interp.Options{MaxSteps: 1 << 16})
+	_, err := in.Call("main")
+	return rep.NumErrors(), err
+}
+
+func TestQualSoundnessQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		src := generateLockProgram(seed)
+		errs, runErr := analyzeAndRun(t, src)
+		if errs > 0 {
+			return true // flagged: no claim
+		}
+		if runErr != nil && strings.Contains(runErr.Error(), "lock") {
+			t.Logf("QUAL SOUNDNESS VIOLATION (seed %d): verified but trapped: %v\n%s",
+				seed, runErr, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualSoundnessDistribution(t *testing.T) {
+	verified, flagged, flaggedTrapped := 0, 0, 0
+	for seed := int64(0); seed < 300; seed++ {
+		errs, runErr := analyzeAndRun(t, generateLockProgram(seed))
+		if errs == 0 {
+			verified++
+		} else {
+			flagged++
+			if runErr != nil && strings.Contains(runErr.Error(), "lock") {
+				flaggedTrapped++
+			}
+		}
+	}
+	t.Logf("verified=%d flagged=%d flagged-and-trapped=%d", verified, flagged, flaggedTrapped)
+	if verified < 30 {
+		t.Errorf("generator too hostile: only %d verified", verified)
+	}
+	if flagged < 30 {
+		t.Errorf("generator too tame: only %d flagged", flagged)
+	}
+	if flaggedTrapped == 0 {
+		t.Error("no flagged program actually trapped; the analysis may be vacuously strict")
+	}
+}

@@ -1,0 +1,84 @@
+package restrict
+
+// Agreement between the two solving paths: for restrict-only systems,
+// the O(kn) marked-search checker of Figure 5 and the full
+// least-solution solver must produce exactly the same verdicts for
+// every disinclusion. quick-checked over random programs.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localalias/internal/infer"
+	"localalias/internal/parser"
+	"localalias/internal/progen"
+	"localalias/internal/solve"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+func TestFigure5AgreesWithSolveQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		src := progen.Generate(seed)
+		var diags source.Diagnostics
+		prog := parser.Parse("gen.mc", src, &diags)
+		tinfo := types.Check(prog, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("generator output invalid:\n%s", diags.String())
+		}
+		res := infer.Run(tinfo, &diags, infer.Options{})
+
+		// Path 1: Figure 5 per-constraint marked search.
+		checker := solve.NewChecker(res.Sys)
+		fig5 := map[int]bool{}
+		for i, ni := range res.Sys.NotIns {
+			fig5[i] = checker.Sat(ni)
+		}
+
+		// Path 2: full least-solution + membership.
+		sol := solve.Solve(res.Sys)
+		for i, ni := range res.Sys.NotIns {
+			sat := !sol.ContainsLoc(ni.V, ni.Loc)
+			if sat != fig5[i] {
+				t.Logf("seed %d constraint %d (%s): Figure5=%v Solve=%v\n%s",
+					seed, i, ni.What, fig5[i], sat, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckEntryPointPicksFigure5(t *testing.T) {
+	// A program with explicit restricts only must take the O(kn)
+	// path; adding a confine must switch to the least-solution path.
+	srcRestrict := `
+fun f(q: ref int): int {
+    restrict p = q {
+        return *p;
+    }
+    return 0;
+}
+`
+	tinfo, diags := compile(t, srcRestrict)
+	if r := Check(tinfo, diags); !r.UsedFigure5 {
+		t.Error("restrict-only: must use Figure 5")
+	}
+
+	srcConfine := `
+global locks: lock[4];
+fun f(i: int) {
+    confine &locks[i] {
+        spin_lock(&locks[i]);
+        spin_unlock(&locks[i]);
+    }
+}
+`
+	tinfo2, diags2 := compile(t, srcConfine)
+	if r := Check(tinfo2, diags2); r.UsedFigure5 {
+		t.Error("confine present: needs the least-solution path (kind/pair checks)")
+	}
+}

@@ -1,0 +1,20 @@
+package restrict
+
+import (
+	"localalias/internal/ast"
+	"localalias/internal/infer"
+	"localalias/internal/parser"
+	"localalias/internal/solve"
+	"localalias/internal/source"
+)
+
+// solveAll runs the least-solution solver over an inference result.
+func solveAll(res *infer.Result) *solve.Result {
+	return solve.Solve(res.Sys)
+}
+
+// parserParse wraps the parser for helpers that manage their own
+// diagnostics.
+func parserParse(src string, diags *source.Diagnostics) *ast.Program {
+	return parser.Parse("test.mc", src, diags)
+}

@@ -1,0 +1,120 @@
+// Package solve resolves effect constraint systems.
+//
+// It provides the two algorithms of the paper:
+//
+//   - Check: the O(kn) satisfiability test of Section 4. The
+//     normal-form constraints are viewed as a directed graph
+//     (location sources, effect-variable nodes, and in-degree-2
+//     intersection nodes); each disinclusion ρ ∉ ε is tested with the
+//     marked depth-first search of Figure 5 (CheckSat).
+//
+//   - Solve: the least-solution worklist algorithm with conditional
+//     constraints used by restrict inference (Section 5, O(n²)) and
+//     confine inference (Section 6). Atoms are propagated to a
+//     fixpoint; when a conditional's trigger becomes true its actions
+//     run (unifying locations, adding inclusions or atoms), and
+//     propagation resumes until no conditional fires and no atom
+//     moves.
+package solve
+
+import (
+	"localalias/internal/effects"
+	"localalias/internal/locs"
+)
+
+// target is one out-edge of an effect-variable node.
+type target struct {
+	// kind selects the edge destination.
+	kind targetKind
+	// idx is a variable index (toVar) or an intersection-node index
+	// (toLeft/toRight).
+	idx int32
+}
+
+type targetKind uint8
+
+const (
+	toVar targetKind = iota
+	toLeft
+	toRight
+)
+
+// graph is the shared constraint-graph skeleton built from a
+// normalized system.
+type graph struct {
+	sys   *effects.System
+	ls    *locs.Store
+	norms []effects.Norm
+
+	nvar int
+	// out[v] lists v's out-edges.
+	out [][]target
+	// seeds[v] lists atoms directly included in v.
+	seeds [][]effects.Atom
+	// inter[i] is the i-th intersection node.
+	inter []*inode
+}
+
+// inode is an intersection node: atoms arriving on the left are
+// forwarded to Out when their location has been seen on the right.
+// (On the paper's plain location sets this is exactly the in-degree-2
+// Count(I)==2 behaviour of Figure 5.)
+type inode struct {
+	Out effects.Var
+	// leftSeeds/rightSeeds are atoms wired directly into a side.
+	leftSeeds  []effects.Atom
+	rightSeeds []effects.Atom
+}
+
+// newGraph normalizes sys and builds the skeleton.
+func newGraph(sys *effects.System) *graph {
+	g := &graph{
+		sys:   sys,
+		ls:    sys.Locs,
+		norms: sys.Normalize(),
+	}
+	// Normalize may create fresh variables, so size after.
+	g.nvar = sys.NumVars()
+	g.out = make([][]target, g.nvar)
+	g.seeds = make([][]effects.Atom, g.nvar)
+	for _, n := range g.norms {
+		if !n.Inter {
+			if n.Left.IsAtom {
+				g.seeds[n.V] = append(g.seeds[n.V], n.Left.A)
+			} else {
+				g.addEdge(n.Left.V, target{kind: toVar, idx: int32(n.V)})
+			}
+			continue
+		}
+		i := int32(len(g.inter))
+		in := &inode{Out: n.V}
+		g.inter = append(g.inter, in)
+		if n.Left.IsAtom {
+			in.leftSeeds = append(in.leftSeeds, n.Left.A)
+		} else {
+			g.addEdge(n.Left.V, target{kind: toLeft, idx: i})
+		}
+		if n.Right.IsAtom {
+			in.rightSeeds = append(in.rightSeeds, n.Right.A)
+		} else {
+			g.addEdge(n.Right.V, target{kind: toRight, idx: i})
+		}
+	}
+	return g
+}
+
+func (g *graph) addEdge(from effects.Var, t target) {
+	g.out[from] = append(g.out[from], t)
+}
+
+// Size returns a node+edge count used by complexity benchmarks.
+func (g *graph) Size() int {
+	n := g.nvar + len(g.inter)
+	for _, es := range g.out {
+		n += len(es)
+	}
+	for _, v := range g.seeds {
+		n += len(v)
+	}
+	return n
+}

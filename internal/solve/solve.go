@@ -1,0 +1,464 @@
+package solve
+
+import (
+	"fmt"
+	"sort"
+
+	"localalias/internal/effects"
+	"localalias/internal/locs"
+)
+
+// Result is the least solution of a constraint system, together with
+// the conditional constraints that fired while computing it.
+type Result struct {
+	sys  *effects.System
+	ls   *locs.Store
+	sets []map[effects.Atom]bool
+
+	// Fired lists the conditional constraints whose triggers became
+	// true, in firing order. Inference interprets these: a fired
+	// "failure" conditional unified a candidate's ρ and ρ′, turning
+	// the candidate back into a plain let.
+	Fired []*effects.Cond
+
+	// AtomsPropagated counts insert operations (for benchmarks).
+	AtomsPropagated int
+}
+
+// Atoms returns the canonical atoms of v's solution, sorted.
+func (r *Result) Atoms(v effects.Var) []effects.Atom {
+	var out []effects.Atom
+	seen := make(map[effects.Atom]bool)
+	for a := range r.sets[v] {
+		ca := effects.Atom{Kind: a.Kind, Loc: r.ls.Find(a.Loc)}
+		if !seen[ca] {
+			seen[ca] = true
+			out = append(out, ca)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loc != out[j].Loc {
+			return out[i].Loc < out[j].Loc
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// ContainsLoc reports whether v's solution has any atom over loc.
+func (r *Result) ContainsLoc(v effects.Var, loc locs.Loc) bool {
+	rho := r.ls.Find(loc)
+	for a := range r.sets[v] {
+		if r.ls.Find(a.Loc) == rho {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAtom reports whether v's solution has the atom (canonical
+// location comparison).
+func (r *Result) ContainsAtom(v effects.Var, a effects.Atom) bool {
+	rho := r.ls.Find(a.Loc)
+	for b := range r.sets[v] {
+		if b.Kind == a.Kind && r.ls.Find(b.Loc) == rho {
+			return true
+		}
+	}
+	return false
+}
+
+// Violations evaluates every check of the system — disinclusions,
+// kind-absence checks and pair checks — against the least solution.
+func (r *Result) Violations() []Violation {
+	var out []Violation
+	for _, ni := range r.sys.NotIns {
+		if r.ContainsLoc(ni.V, ni.Loc) {
+			out = append(out, Violation{
+				Site:   ni.Site,
+				What:   ni.What,
+				Detail: fmt.Sprintf("ρ%d (%s) is in %s", ni.Loc, r.ls.Name(ni.Loc), r.sys.VarName(ni.V)),
+			})
+		}
+	}
+	for _, kn := range r.sys.KindNotIns {
+		for a := range r.sets[kn.V] {
+			if a.Kind == kn.Kind {
+				out = append(out, Violation{
+					Site:   kn.Site,
+					What:   kn.What,
+					Detail: fmt.Sprintf("%s(%s) is in %s", a.Kind, r.ls.Name(a.Loc), r.sys.VarName(kn.V)),
+				})
+				break
+			}
+		}
+	}
+	for _, pn := range r.sys.PairNotIns {
+		for a := range r.sets[pn.VA] {
+			if a.Kind != pn.KindA {
+				continue
+			}
+			if r.hasKindLocResult(pn.VB, pn.KindB, a.Loc) {
+				out = append(out, Violation{
+					Site: pn.Site,
+					What: pn.What,
+					Detail: fmt.Sprintf("%s(%s) in %s and %s of it in %s",
+						pn.KindA, r.ls.Name(a.Loc), r.sys.VarName(pn.VA),
+						pn.KindB, r.sys.VarName(pn.VB)),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (r *Result) hasKindLocResult(v effects.Var, k effects.Kind, loc locs.Loc) bool {
+	rho := r.ls.Find(loc)
+	for a := range r.sets[v] {
+		if a.Kind == k && r.ls.Find(a.Loc) == rho {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Solver
+
+type solver struct {
+	g   *graph
+	ls  *locs.Store
+	res *Result
+
+	// Dynamic graph state (conditionals add edges and atoms).
+	out   [][]target
+	sets  []map[effects.Atom]bool
+	left  []map[effects.Atom]bool
+	right []map[locs.Loc]bool
+
+	// queue of pending insertions.
+	queue []qitem
+
+	// pending holds conds not yet fired; condList preserves creation
+	// order for deterministic rechecks; watch indexes conds by the
+	// effect variable(s) their trigger observes, so an atom arrival
+	// only examines the conds that could care.
+	pending  map[*effects.Cond]bool
+	condList []*effects.Cond
+	watch    map[effects.Var][]*effects.Cond
+
+	unified bool // set by the locs OnUnify callback
+}
+
+type qitem struct {
+	v effects.Var
+	a effects.Atom
+}
+
+// Solve computes the least solution of sys, firing conditional
+// constraints as their triggers become true. The algorithm is the
+// paper's worklist scheme: initial propagation costs O(n·|locs|); each
+// of the O(n) possible location unifications triggers O(n) of
+// re-propagation, for the stated O(n²) bound.
+func Solve(sys *effects.System) *Result {
+	g := newGraph(sys)
+	s := &solver{
+		g:   g,
+		ls:  sys.Locs,
+		out: g.out,
+	}
+	s.res = &Result{sys: sys, ls: sys.Locs}
+	s.sets = make([]map[effects.Atom]bool, g.nvar)
+	for i := range s.sets {
+		s.sets[i] = make(map[effects.Atom]bool)
+	}
+	s.left = make([]map[effects.Atom]bool, len(g.inter))
+	s.right = make([]map[locs.Loc]bool, len(g.inter))
+	for i := range g.inter {
+		s.left[i] = make(map[effects.Atom]bool)
+		s.right[i] = make(map[locs.Loc]bool)
+	}
+	s.pending = make(map[*effects.Cond]bool, len(sys.Conds))
+	s.condList = sys.Conds
+	s.watch = make(map[effects.Var][]*effects.Cond)
+	for _, c := range sys.Conds {
+		s.pending[c] = true
+		for _, v := range triggerVars(c.Trigger) {
+			s.watch[v] = append(s.watch[v], c)
+		}
+	}
+
+	sys.Locs.OnUnify(func(winner, loser locs.Loc) { s.unified = true })
+
+	// Seed the graph.
+	for v := range g.seeds {
+		for _, a := range g.seeds[v] {
+			s.insert(effects.Var(v), a)
+		}
+	}
+	for i, in := range g.inter {
+		for _, a := range in.leftSeeds {
+			s.arriveLeft(int32(i), a)
+		}
+		for _, a := range in.rightSeeds {
+			s.arriveRight(int32(i), a)
+		}
+	}
+
+	for {
+		s.drain()
+		// Propagation quiesced. If a unification happened, atoms with
+		// stale locations must be re-canonicalized and intersection
+		// gates re-examined; triggers may also newly match.
+		if s.unified {
+			s.unified = false
+			s.recanonicalize()
+			s.recheckConds()
+			if len(s.queue) > 0 || s.unified {
+				continue
+			}
+		}
+		break
+	}
+
+	s.res.sets = s.sets
+	return s.res
+}
+
+func (s *solver) drain() {
+	for len(s.queue) > 0 {
+		it := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.propagate(it.v, it.a)
+	}
+}
+
+// insert adds atom a (canonicalized) to v, queueing propagation.
+func (s *solver) insert(v effects.Var, a effects.Atom) {
+	a.Loc = s.ls.Find(a.Loc)
+	if s.sets[v][a] {
+		return
+	}
+	s.sets[v][a] = true
+	s.res.AtomsPropagated++
+	s.queue = append(s.queue, qitem{v: v, a: a})
+}
+
+// propagate pushes a (already recorded in v) along v's out-edges and
+// checks triggers watching v.
+func (s *solver) propagate(v effects.Var, a effects.Atom) {
+	for _, t := range s.out[v] {
+		switch t.kind {
+		case toVar:
+			s.insert(effects.Var(t.idx), a)
+		case toLeft:
+			s.arriveLeft(t.idx, a)
+		case toRight:
+			s.arriveRight(t.idx, a)
+		}
+	}
+	s.checkTriggersFor(v, a)
+}
+
+func (s *solver) arriveLeft(i int32, a effects.Atom) {
+	a.Loc = s.ls.Find(a.Loc)
+	if s.left[i][a] {
+		return
+	}
+	s.left[i][a] = true
+	if s.right[i][a.Loc] {
+		s.insert(s.g.inter[i].Out, a)
+	}
+}
+
+func (s *solver) arriveRight(i int32, a effects.Atom) {
+	rho := s.ls.Find(a.Loc)
+	if s.right[i][rho] {
+		return
+	}
+	s.right[i][rho] = true
+	for b := range s.left[i] {
+		if s.ls.Find(b.Loc) == rho {
+			s.insert(s.g.inter[i].Out, b)
+		}
+	}
+}
+
+// recanonicalize rewrites every stored atom to its current
+// representative, re-flooding anything whose identity changed and
+// re-examining intersection gates. A full pass costs O(total atoms);
+// it runs once per unification, matching the paper's O(n) "extra work
+// to recompute reachability for the unified locations".
+func (s *solver) recanonicalize() {
+	for v := range s.sets {
+		for a := range s.sets[v] {
+			if c := s.ls.Find(a.Loc); c != a.Loc {
+				delete(s.sets[v], a)
+				a2 := effects.Atom{Kind: a.Kind, Loc: c}
+				if !s.sets[v][a2] {
+					s.sets[v][a2] = true
+					// Re-propagate under the new identity: dedupe
+					// downstream uses canonical atoms, so merged
+					// atoms must flow again.
+					s.queue = append(s.queue, qitem{v: effects.Var(v), a: a2})
+				}
+			}
+		}
+	}
+	for i := range s.left {
+		for a := range s.left[i] {
+			if c := s.ls.Find(a.Loc); c != a.Loc {
+				delete(s.left[i], a)
+				s.left[i][effects.Atom{Kind: a.Kind, Loc: c}] = true
+			}
+		}
+		for rho := range s.right[i] {
+			if c := s.ls.Find(rho); c != rho {
+				delete(s.right[i], rho)
+				s.right[i][c] = true
+			}
+		}
+		// A merge can newly unlock buffered left atoms: re-examine
+		// the gate unconditionally.
+		for a := range s.left[i] {
+			if s.right[i][s.ls.Find(a.Loc)] {
+				s.insert(s.g.inter[i].Out, a)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Conditional constraints
+
+// triggerVars lists the effect variables a trigger observes.
+func triggerVars(t effects.Trigger) []effects.Var {
+	switch t := t.(type) {
+	case effects.LocIn:
+		return []effects.Var{t.V}
+	case effects.AtomIn:
+		return []effects.Var{t.V}
+	case effects.KindIn:
+		return []effects.Var{t.V}
+	case effects.PairIn:
+		if t.VA == t.VB {
+			return []effects.Var{t.VA}
+		}
+		return []effects.Var{t.VA, t.VB}
+	default:
+		return nil
+	}
+}
+
+// checkTriggersFor tests unfired conditionals that could be enabled
+// by atom a arriving in v.
+func (s *solver) checkTriggersFor(v effects.Var, a effects.Atom) {
+	ws := s.watch[v]
+	for _, c := range ws {
+		if !s.pending[c] {
+			continue
+		}
+		if s.triggerMatches(c.Trigger, v, a) {
+			s.fire(c)
+		}
+	}
+}
+
+// recheckConds re-tests unfired conditionals against the full current
+// solution (needed after unifications, which can make triggers true
+// without any new atom arriving). Creation order keeps firing — and
+// hence diagnostics — deterministic.
+func (s *solver) recheckConds() {
+	for _, c := range s.condList {
+		if !s.pending[c] {
+			continue
+		}
+		if s.triggerHolds(c.Trigger) {
+			s.fire(c)
+		}
+	}
+}
+
+func (s *solver) triggerMatches(t effects.Trigger, v effects.Var, a effects.Atom) bool {
+	switch t := t.(type) {
+	case effects.LocIn:
+		return t.V == v && s.ls.Find(t.Loc) == s.ls.Find(a.Loc)
+	case effects.AtomIn:
+		return t.V == v && t.Kind == a.Kind && s.ls.Find(t.Loc) == s.ls.Find(a.Loc)
+	case effects.KindIn:
+		return t.V == v && t.Kind == a.Kind
+	case effects.PairIn:
+		if t.VA == v && a.Kind == t.KindA {
+			return s.hasKindLoc(t.VB, t.KindB, a.Loc)
+		}
+		if t.VB == v && a.Kind == t.KindB {
+			return s.hasKindLoc(t.VA, t.KindA, a.Loc)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// triggerHolds tests a trigger against the whole current solution.
+func (s *solver) triggerHolds(t effects.Trigger) bool {
+	switch t := t.(type) {
+	case effects.LocIn:
+		rho := s.ls.Find(t.Loc)
+		for a := range s.sets[t.V] {
+			if s.ls.Find(a.Loc) == rho {
+				return true
+			}
+		}
+	case effects.AtomIn:
+		rho := s.ls.Find(t.Loc)
+		for a := range s.sets[t.V] {
+			if a.Kind == t.Kind && s.ls.Find(a.Loc) == rho {
+				return true
+			}
+		}
+	case effects.KindIn:
+		for a := range s.sets[t.V] {
+			if a.Kind == t.Kind {
+				return true
+			}
+		}
+	case effects.PairIn:
+		for a := range s.sets[t.VA] {
+			if a.Kind == t.KindA && s.hasKindLoc(t.VB, t.KindB, a.Loc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *solver) hasKindLoc(v effects.Var, k effects.Kind, loc locs.Loc) bool {
+	rho := s.ls.Find(loc)
+	for a := range s.sets[v] {
+		if a.Kind == k && s.ls.Find(a.Loc) == rho {
+			return true
+		}
+	}
+	return false
+}
+
+// fire runs the actions of c and marks it fired.
+func (s *solver) fire(c *effects.Cond) {
+	delete(s.pending, c)
+	s.res.Fired = append(s.res.Fired, c)
+	for _, act := range c.Actions {
+		switch act := act.(type) {
+		case effects.ActUnify:
+			s.ls.Unify(act.A, act.B)
+		case effects.ActIncl:
+			s.out[act.From] = append(s.out[act.From], target{kind: toVar, idx: int32(act.To)})
+			for a := range s.sets[act.From] {
+				s.insert(act.To, a)
+			}
+		case effects.ActAddAtom:
+			s.insert(act.V, act.A)
+		}
+	}
+}

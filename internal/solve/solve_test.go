@@ -1,0 +1,437 @@
+package solve
+
+import (
+	"testing"
+
+	"localalias/internal/effects"
+	"localalias/internal/locs"
+	"localalias/internal/source"
+)
+
+func loc(ls *locs.Store, n string) locs.Loc { return ls.Fresh(n) }
+
+func atom(k effects.Kind, l locs.Loc) effects.Atom { return effects.Atom{Kind: k, Loc: l} }
+
+// chain builds ρ ∈ ε0 ⊆ ε1 ⊆ ... ⊆ εn and returns the vars.
+func chain(s *effects.System, ls *locs.Store, n int) (locs.Loc, []effects.Var) {
+	rho := ls.Fresh("rho")
+	vars := make([]effects.Var, n)
+	for i := range vars {
+		vars[i] = s.Fresh("e")
+	}
+	s.AddAtom(atom(effects.Read, rho), vars[0])
+	for i := 1; i < n; i++ {
+		s.AddVarIncl(vars[i-1], vars[i])
+	}
+	return rho, vars
+}
+
+func TestCheckSatReachable(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho, vars := chain(s, ls, 4)
+	s.AddNotIn(rho, vars[3], source.NoSpan, "test")
+	vs := Check(s)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+}
+
+func TestCheckSatUnreachable(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho, _ := chain(s, ls, 4)
+	other := s.Fresh("island")
+	s.AddNotIn(rho, other, source.NoSpan, "test")
+	if vs := Check(s); len(vs) != 0 {
+		t.Fatalf("want no violations, got %v", vs)
+	}
+}
+
+func TestCheckSatIntersectionGate(t *testing.T) {
+	// (eL ∩ eR) ⊆ out: rho reaches out only if it reaches both sides.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	eL := s.Fresh("L")
+	eR := s.Fresh("R")
+	out := s.Fresh("out")
+	s.AddIncl(effects.Inter{L: effects.VarRef{V: eL}, R: effects.VarRef{V: eR}}, out)
+	s.AddAtom(atom(effects.Write, rho), eL)
+	// Only the left side sees rho: the Count(I)==2 condition of
+	// Figure 5 must block it.
+	s.AddNotIn(rho, out, source.NoSpan, "blocked")
+	if vs := Check(s); len(vs) != 0 {
+		t.Fatalf("intersection must gate: %v", vs)
+	}
+	// Now let the right side see rho too.
+	s.AddAtom(atom(effects.LocAtom, rho), eR)
+	s2 := Check(s)
+	if len(s2) != 1 {
+		t.Fatalf("both sides reached: want violation, got %v", s2)
+	}
+}
+
+func TestCheckSatDiamond(t *testing.T) {
+	// rho flows into out through two paths; still one violation.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	a, b, out := s.Fresh("a"), s.Fresh("b"), s.Fresh("out")
+	src := s.Fresh("src")
+	s.AddAtom(atom(effects.Read, rho), src)
+	s.AddVarIncl(src, a)
+	s.AddVarIncl(src, b)
+	s.AddVarIncl(a, out)
+	s.AddVarIncl(b, out)
+	s.AddNotIn(rho, out, source.NoSpan, "diamond")
+	if vs := Check(s); len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+}
+
+func TestCheckSatRespectsUnification(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho1 := ls.Fresh("rho1")
+	rho2 := ls.Fresh("rho2")
+	e := s.Fresh("e")
+	s.AddAtom(atom(effects.Read, rho2), e)
+	s.AddNotIn(rho1, e, source.NoSpan, "pre-unify")
+	if vs := Check(s); len(vs) != 0 {
+		t.Fatal("distinct locations must not collide")
+	}
+	ls.Unify(rho1, rho2)
+	if vs := Check(s); len(vs) != 1 {
+		t.Fatal("after unification the check must fail")
+	}
+}
+
+func TestCheckerReusableManyQueries(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho, vars := chain(s, ls, 10)
+	other := ls.Fresh("other")
+	s.AddAtom(atom(effects.Read, other), vars[5])
+	c := NewChecker(s)
+	for i := 0; i < 100; i++ {
+		if c.Sat(effects.NotIn{Loc: rho, V: vars[9]}) {
+			t.Fatal("rho must reach the chain end")
+		}
+		if !c.Sat(effects.NotIn{Loc: other, V: vars[2]}) {
+			t.Fatal("other enters at 5; must not reach 2")
+		}
+		if c.Sat(effects.NotIn{Loc: other, V: vars[7]}) {
+			t.Fatal("other must reach 7")
+		}
+	}
+}
+
+func TestSolveLeastSolution(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho, vars := chain(s, ls, 3)
+	r := Solve(s)
+	for _, v := range vars {
+		if !r.ContainsLoc(v, rho) {
+			t.Fatalf("rho must be in every chain var")
+		}
+	}
+	as := r.Atoms(vars[2])
+	if len(as) != 1 || as[0].Kind != effects.Read {
+		t.Fatalf("atoms: %v", as)
+	}
+}
+
+func TestSolveIntersectionKinds(t *testing.T) {
+	// (Down): effect atoms filtered by live locations, with bare
+	// location atoms not polluting the output.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	kept := ls.Fresh("kept")
+	dropped := ls.Fresh("dropped")
+	body := s.Fresh("body")
+	live := s.Fresh("live")
+	out := s.Fresh("out")
+	s.AddAtom(atom(effects.Write, kept), body)
+	s.AddAtom(atom(effects.Read, dropped), body)
+	s.AddAtom(atom(effects.LocAtom, kept), live)
+	s.AddIncl(effects.Inter{L: effects.VarRef{V: body}, R: effects.VarRef{V: live}}, out)
+	r := Solve(s)
+	if !r.ContainsAtom(out, atom(effects.Write, kept)) {
+		t.Error("write(kept) must survive (Down)")
+	}
+	if r.ContainsLoc(out, dropped) {
+		t.Error("read(dropped) must be removed by (Down)")
+	}
+	if r.ContainsAtom(out, atom(effects.LocAtom, kept)) {
+		t.Error("locs(Γ,τ) atoms must not leak into the effect")
+	}
+}
+
+func TestSolveViolations(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho, vars := chain(s, ls, 2)
+	s.AddNotIn(rho, vars[1], source.NoSpan, "hit")
+	s.AddNotIn(ls.Fresh("free"), vars[1], source.NoSpan, "miss")
+	r := Solve(s)
+	vs := r.Violations()
+	if len(vs) != 1 || vs[0].What != "hit" {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestSolveCondLocInFires(t *testing.T) {
+	// rho ∈ e ⇒ unify(a, b).
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	a, b := ls.Fresh("a"), ls.Fresh("b")
+	e := s.Fresh("e")
+	s.AddAtom(atom(effects.Write, rho), e)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.LocIn{Loc: rho, V: e},
+		Actions: []effects.Action{effects.ActUnify{A: a, B: b}},
+		Reason:  "rho used",
+	})
+	r := Solve(s)
+	if len(r.Fired) != 1 {
+		t.Fatalf("cond must fire once, fired %d", len(r.Fired))
+	}
+	if !ls.Same(a, b) {
+		t.Error("action must unify a and b")
+	}
+}
+
+func TestSolveCondNotFired(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	other := ls.Fresh("other")
+	a, b := ls.Fresh("a"), ls.Fresh("b")
+	e := s.Fresh("e")
+	s.AddAtom(atom(effects.Write, other), e)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.LocIn{Loc: rho, V: e},
+		Actions: []effects.Action{effects.ActUnify{A: a, B: b}},
+	})
+	r := Solve(s)
+	if len(r.Fired) != 0 || ls.Same(a, b) {
+		t.Error("condition must not fire")
+	}
+}
+
+func TestSolveCondCascade(t *testing.T) {
+	// Firing one conditional unifies locations, which makes a second
+	// conditional's trigger true: the paper's worklist cascade.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho1 := ls.Fresh("rho1")
+	rho2 := ls.Fresh("rho2")
+	x, y := ls.Fresh("x"), ls.Fresh("y")
+	e := s.Fresh("e")
+	s.AddAtom(atom(effects.Read, rho1), e)
+	// rho1 ∈ e ⇒ unify(rho1, rho2)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.LocIn{Loc: rho1, V: e},
+		Actions: []effects.Action{effects.ActUnify{A: rho1, B: rho2}},
+	})
+	// rho2 ∈ e ⇒ unify(x, y) — true only after the first fires.
+	s.AddCond(&effects.Cond{
+		Trigger: effects.LocIn{Loc: rho2, V: e},
+		Actions: []effects.Action{effects.ActUnify{A: x, B: y}},
+	})
+	r := Solve(s)
+	if len(r.Fired) != 2 {
+		t.Fatalf("cascade: want 2 fired, got %d", len(r.Fired))
+	}
+	if !ls.Same(x, y) {
+		t.Error("second condition's action must run")
+	}
+}
+
+func TestSolveCondAtomInAndAddAtom(t *testing.T) {
+	// write(rho') ∈ e ⇒ {write(rho)} ⊆ pi (the conditional restrict
+	// effect).
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	rhoP := ls.Fresh("rho'")
+	e := s.Fresh("e")
+	pi := s.Fresh("pi")
+	s.AddAtom(atom(effects.Write, rhoP), e)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.AtomIn{Kind: effects.Write, Loc: rhoP, V: e},
+		Actions: []effects.Action{effects.ActAddAtom{A: atom(effects.Write, rho), V: pi}},
+	})
+	// A read must NOT trigger the write conditional.
+	s.AddCond(&effects.Cond{
+		Trigger: effects.AtomIn{Kind: effects.Alloc, Loc: rhoP, V: e},
+		Actions: []effects.Action{effects.ActAddAtom{A: atom(effects.Alloc, rho), V: pi}},
+	})
+	r := Solve(s)
+	if !r.ContainsAtom(pi, atom(effects.Write, rho)) {
+		t.Error("write relay must fire")
+	}
+	if r.ContainsAtom(pi, atom(effects.Alloc, rho)) {
+		t.Error("alloc relay must not fire")
+	}
+}
+
+func TestSolveCondKindIn(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	a, b := ls.Fresh("a"), ls.Fresh("b")
+	e := s.Fresh("e")
+	s.AddAtom(atom(effects.Alloc, rho), e)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.KindIn{Kind: effects.Alloc, V: e},
+		Actions: []effects.Action{effects.ActUnify{A: a, B: b}},
+	})
+	r := Solve(s)
+	if len(r.Fired) != 1 || !ls.Same(a, b) {
+		t.Error("any alloc atom must trigger KindIn")
+	}
+}
+
+func TestSolveCondPairIn(t *testing.T) {
+	// read(r) ∈ e1 ∧ write(r) ∈ e2 ⇒ unify — the referential
+	// transparency premise.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	r1 := ls.Fresh("r1")
+	r2 := ls.Fresh("r2")
+	a, b := ls.Fresh("a"), ls.Fresh("b")
+	e1, e2 := s.Fresh("e1"), s.Fresh("e2")
+	s.AddAtom(atom(effects.Read, r1), e1)
+	s.AddAtom(atom(effects.Write, r2), e2) // different loc: no fire
+	s.AddCond(&effects.Cond{
+		Trigger: effects.PairIn{KindA: effects.Read, VA: e1, KindB: effects.Write, VB: e2},
+		Actions: []effects.Action{effects.ActUnify{A: a, B: b}},
+	})
+	r := Solve(s)
+	if len(r.Fired) != 0 {
+		t.Fatal("different locations must not pair")
+	}
+
+	// Same locations (via unification) must fire on recheck.
+	ls2 := locs.NewStore()
+	s2 := effects.NewSystem(ls2)
+	p1 := ls2.Fresh("p1")
+	p2 := ls2.Fresh("p2")
+	c, d := ls2.Fresh("c"), ls2.Fresh("d")
+	f1, f2 := s2.Fresh("f1"), s2.Fresh("f2")
+	s2.AddAtom(atom(effects.Read, p1), f1)
+	s2.AddAtom(atom(effects.Write, p1), f2)
+	s2.AddCond(&effects.Cond{
+		Trigger: effects.PairIn{KindA: effects.Read, VA: f1, KindB: effects.Write, VB: f2},
+		Actions: []effects.Action{effects.ActUnify{A: c, B: d}},
+	})
+	_ = p2
+	r2v := Solve(s2)
+	if len(r2v.Fired) != 1 || !ls2.Same(c, d) {
+		t.Error("matching read/write pair must fire")
+	}
+}
+
+func TestSolveCondActIncl(t *testing.T) {
+	// trigger ⇒ (from ⊆ to): existing and future atoms both flow.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho := ls.Fresh("rho")
+	x := ls.Fresh("x")
+	from, to, e := s.Fresh("from"), s.Fresh("to"), s.Fresh("e")
+	s.AddAtom(atom(effects.Read, x), from)
+	s.AddAtom(atom(effects.Write, rho), e)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.LocIn{Loc: rho, V: e},
+		Actions: []effects.Action{effects.ActIncl{From: from, To: to}},
+	})
+	r := Solve(s)
+	if !r.ContainsAtom(to, atom(effects.Read, x)) {
+		t.Error("ActIncl must copy existing atoms")
+	}
+}
+
+func TestSolveUnifyMergesAtomsAcrossSets(t *testing.T) {
+	// After unify(r1, r2), an intersection gated on r2 must pass an
+	// atom over r1.
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	r1 := ls.Fresh("r1")
+	r2 := ls.Fresh("r2")
+	trig := ls.Fresh("trig")
+	body, live, out, e := s.Fresh("body"), s.Fresh("live"), s.Fresh("out"), s.Fresh("e")
+	s.AddAtom(atom(effects.Write, r1), body)
+	s.AddAtom(atom(effects.LocAtom, r2), live)
+	s.AddIncl(effects.Inter{L: effects.VarRef{V: body}, R: effects.VarRef{V: live}}, out)
+	s.AddAtom(atom(effects.Read, trig), e)
+	s.AddCond(&effects.Cond{
+		Trigger: effects.LocIn{Loc: trig, V: e},
+		Actions: []effects.Action{effects.ActUnify{A: r1, B: r2}},
+	})
+	r := Solve(s)
+	if !r.ContainsLoc(out, r1) {
+		t.Error("post-unification the gate must open")
+	}
+}
+
+func TestSolveBackwardPrefilter(t *testing.T) {
+	ls := locs.NewStore()
+	s := effects.NewSystem(ls)
+	rho, vars := chain(s, ls, 5)
+	island := s.Fresh("island")
+	c := NewChecker(s)
+	reach := c.ReachableLocs(vars[4])
+	if !reach[ls.Find(rho)] {
+		t.Error("backward search must find rho behind the chain")
+	}
+	if got := c.ReachableLocs(island); len(got) != 0 {
+		t.Errorf("island has no sources, got %v", got)
+	}
+	if !c.SatBackward(effects.NotIn{Loc: rho, V: island}) {
+		t.Error("SatBackward must succeed via prefilter")
+	}
+	if c.SatBackward(effects.NotIn{Loc: rho, V: vars[4]}) {
+		t.Error("SatBackward must still detect real violations")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	build := func() (*locs.Store, *effects.System, []effects.Var) {
+		ls := locs.NewStore()
+		s := effects.NewSystem(ls)
+		var vars []effects.Var
+		for i := 0; i < 20; i++ {
+			vars = append(vars, s.Fresh("v"))
+		}
+		var rs []locs.Loc
+		for i := 0; i < 10; i++ {
+			rs = append(rs, ls.Fresh("r"))
+		}
+		for i := 0; i < 10; i++ {
+			s.AddAtom(atom(effects.Kind(i%4), rs[i]), vars[i])
+			s.AddVarIncl(vars[i], vars[(i*7)%20])
+			s.AddVarIncl(vars[i], vars[10+i%10])
+		}
+		return ls, s, vars
+	}
+	_, s1, v1 := build()
+	_, s2, v2 := build()
+	r1 := Solve(s1)
+	r2 := Solve(s2)
+	for i := range v1 {
+		a1 := r1.Atoms(v1[i])
+		a2 := r2.Atoms(v2[i])
+		if len(a1) != len(a2) {
+			t.Fatalf("var %d: nondeterministic solution sizes %d vs %d", i, len(a1), len(a2))
+		}
+		for j := range a1 {
+			if a1[j] != a2[j] {
+				t.Fatalf("var %d atom %d: %v vs %v", i, j, a1[j], a2[j])
+			}
+		}
+	}
+}

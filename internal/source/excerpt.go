@@ -1,0 +1,56 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Excerpt renders a diagnostic with its source line and a caret span,
+// gcc/rustc style:
+//
+//	driver.mc:6:5: error: [qual] spin_unlock: lock may be ⊤
+//	    spin_unlock(&locks[i]);
+//	    ^~~~~~~~~~~
+//
+// Diagnostics without a file or span degrade to the one-line form.
+func Excerpt(d *Diagnostic) string {
+	head := d.String()
+	if d.File == nil || !d.Span.IsValid() {
+		return head
+	}
+	pos := d.File.Position(d.Span.Start)
+	line := d.File.Line(pos.Line)
+	if line == "" {
+		return head
+	}
+	// Caret width: clamp the span to the current line.
+	width := 1
+	if d.Span.End > d.Span.Start {
+		width = int(d.Span.End - d.Span.Start)
+	}
+	if max := len(line) - (pos.Column - 1); width > max {
+		width = max
+	}
+	if width < 1 {
+		width = 1
+	}
+	marker := "^"
+	if width > 1 {
+		marker += strings.Repeat("~", width-1)
+	}
+	// Render tabs as single spaces so the caret aligns.
+	rendered := strings.ReplaceAll(line, "\t", " ")
+	return fmt.Sprintf("%s\n    %s\n    %s%s",
+		head, rendered, strings.Repeat(" ", pos.Column-1), marker)
+}
+
+// RenderAll renders every diagnostic with excerpts, one block per
+// diagnostic.
+func (ds *Diagnostics) RenderAll() string {
+	var b strings.Builder
+	for _, d := range ds.List {
+		b.WriteString(Excerpt(d))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

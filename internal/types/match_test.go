@@ -1,0 +1,155 @@
+package types
+
+import (
+	"testing"
+
+	"localalias/internal/ast"
+	"localalias/internal/parser"
+	"localalias/internal/source"
+)
+
+func checkInfo(t *testing.T, src string) *Info {
+	t.Helper()
+	var diags source.Diagnostics
+	prog := parser.Parse("t.mc", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %s", diags.String())
+	}
+	info := Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("types: %s", diags.String())
+	}
+	return info
+}
+
+// exprsIn collects expressions matching the rendering, in order.
+func exprsIn(prog *ast.Program, rendering string) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && ast.ExprString(e) == rendering {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+func TestEqualResolvedSameSymbol(t *testing.T) {
+	info := checkInfo(t, `
+global locks: lock[4];
+fun f(i: int) {
+    spin_lock(&locks[i]);
+    spin_unlock(&locks[i]);
+}
+`)
+	es := exprsIn(info.Prog, "&locks[i]")
+	if len(es) != 2 {
+		t.Fatalf("occurrences: %d", len(es))
+	}
+	if !info.EqualResolved(es[0], es[1]) {
+		t.Error("same-scope occurrences must match")
+	}
+}
+
+func TestEqualResolvedShadowing(t *testing.T) {
+	// The two &locks[i] resolve i to DIFFERENT symbols (the inner let
+	// shadows the parameter inside the block).
+	info := checkInfo(t, `
+global locks: lock[4];
+fun f(i: int) {
+    spin_lock(&locks[i]);
+    if (1) {
+        let i = 0;
+        spin_unlock(&locks[i]);
+    }
+}
+`)
+	es := exprsIn(info.Prog, "&locks[i]")
+	if len(es) != 2 {
+		t.Fatalf("occurrences: %d", len(es))
+	}
+	if info.EqualResolved(es[0], es[1]) {
+		t.Error("shadowed occurrences must NOT match")
+	}
+}
+
+func TestEqualResolvedDifferentShape(t *testing.T) {
+	info := checkInfo(t, `
+global locks: lock[4];
+fun f(i: int, j: int) {
+    spin_lock(&locks[i]);
+    spin_unlock(&locks[j]);
+}
+`)
+	a := exprsIn(info.Prog, "&locks[i]")
+	b := exprsIn(info.Prog, "&locks[j]")
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatal("setup")
+	}
+	if info.EqualResolved(a[0], b[0]) {
+		t.Error("different index variables must not match")
+	}
+}
+
+func TestFieldTypeLookup(t *testing.T) {
+	info := checkInfo(t, `
+struct dev {
+    l: lock;
+    n: int;
+    next: ref dev;
+    regs: int[4];
+}
+fun f(d: ref dev): int { return d->n; }
+`)
+	decl := info.Structs["dev"]
+	cases := map[string]string{
+		"l":    "lock",
+		"n":    "int",
+		"next": "ref dev",
+		"regs": "int[4]",
+	}
+	for name, want := range cases {
+		ft := info.FieldType(decl, name)
+		if ft == nil || ft.String() != want {
+			t.Errorf("FieldType(%s) = %v, want %s", name, ft, want)
+		}
+	}
+	if info.FieldType(decl, "missing") != nil {
+		t.Error("absent field must be nil")
+	}
+}
+
+func TestSymKindStrings(t *testing.T) {
+	want := map[SymKind]string{
+		SymGlobal: "global", SymParam: "param", SymLet: "let", SymFun: "fun",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+}
+
+func TestIsLockOp(t *testing.T) {
+	if !IsLockOp("spin_lock") || !IsLockOp("spin_unlock") {
+		t.Error("lock ops")
+	}
+	if IsLockOp("work") || IsLockOp("print") || IsLockOp("") {
+		t.Error("non lock ops")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		IntType:                          "int",
+		UnitType:                         "unit",
+		LockType:                         "lock",
+		&Ref{Elem: &Ref{Elem: IntType}}:  "ref ref int",
+		&Array{Elem: LockType, Size: 16}: "lock[16]",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%q != %q", ty.String(), want)
+		}
+	}
+}

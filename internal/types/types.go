@@ -1,0 +1,259 @@
+// Package types implements MiniC's standard type system — the
+// qualifier- and location-free types the paper assumes have already
+// been checked before alias and effect inference runs ("we assume
+// that type checking has already been carried out for the underlying
+// standard types of the language", Section 4).
+//
+// The checker resolves names, computes a standard type for every
+// expression, classifies place (lvalue) expressions, and enforces the
+// structural rules of the language:
+//
+//   - locks are second-class: they live in storage and are handled
+//     only by address (&lv of lock type); lock values cannot be read,
+//     copied or assigned;
+//   - arrays and structs are storage, not values: they are indexed,
+//     field-selected or addressed, never copied;
+//   - let binds values (int or ref); mutation happens only through
+//     refs, array elements, struct fields and scalar globals.
+package types
+
+import (
+	"fmt"
+
+	"localalias/internal/ast"
+)
+
+// ---------------------------------------------------------------------
+// Standard types
+
+// Type is a standard MiniC type.
+type Type interface {
+	String() string
+	typ()
+}
+
+// Prim is int, unit or lock.
+type Prim struct{ Kind ast.PrimKind }
+
+// Ref is a pointer to a cell holding Elem.
+type Ref struct{ Elem Type }
+
+// Array is Size cells holding Elem.
+type Array struct {
+	Elem Type
+	Size int
+}
+
+// Named is a declared struct type.
+type Named struct{ Decl *ast.StructDecl }
+
+func (t *Prim) String() string  { return t.Kind.String() }
+func (t *Ref) String() string   { return "ref " + t.Elem.String() }
+func (t *Array) String() string { return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Size) }
+func (t *Named) String() string { return t.Decl.Name }
+
+func (*Prim) typ()  {}
+func (*Ref) typ()   {}
+func (*Array) typ() {}
+func (*Named) typ() {}
+
+// Shared primitive type instances.
+var (
+	IntType  = &Prim{Kind: ast.PrimInt}
+	UnitType = &Prim{Kind: ast.PrimUnit}
+	LockType = &Prim{Kind: ast.PrimLock}
+)
+
+// Equal reports structural equality (structs are nominal; array sizes
+// are ignored, matching the alias analysis's inability to distinguish
+// elements).
+func Equal(a, b Type) bool {
+	switch a := a.(type) {
+	case *Prim:
+		b, ok := b.(*Prim)
+		return ok && a.Kind == b.Kind
+	case *Ref:
+		b, ok := b.(*Ref)
+		return ok && Equal(a.Elem, b.Elem)
+	case *Array:
+		b, ok := b.(*Array)
+		return ok && Equal(a.Elem, b.Elem)
+	case *Named:
+		b, ok := b.(*Named)
+		return ok && a.Decl == b.Decl
+	default:
+		return false
+	}
+}
+
+// IsScalar reports whether t is a first-class value type (int or ref).
+func IsScalar(t Type) bool {
+	switch t := t.(type) {
+	case *Prim:
+		return t.Kind == ast.PrimInt
+	case *Ref:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsLock reports whether t is the lock type.
+func IsLock(t Type) bool {
+	p, ok := t.(*Prim)
+	return ok && p.Kind == ast.PrimLock
+}
+
+// IsUnit reports whether t is unit.
+func IsUnit(t Type) bool {
+	p, ok := t.(*Prim)
+	return ok && p.Kind == ast.PrimUnit
+}
+
+// ---------------------------------------------------------------------
+// Symbols and checker results
+
+// SymKind classifies a resolved name.
+type SymKind int
+
+// The symbol kinds.
+const (
+	SymGlobal SymKind = iota // module-level storage
+	SymParam                 // function parameter (a bound value)
+	SymLet                   // let-bound value (DeclStmt or BindStmt)
+	SymFun                   // function
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymGlobal:
+		return "global"
+	case SymParam:
+		return "param"
+	case SymLet:
+		return "let"
+	case SymFun:
+		return "fun"
+	default:
+		return "sym(?)"
+	}
+}
+
+// Symbol is one resolved definition.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	// Type is the value type for params/lets, the storage type for
+	// globals.
+	Type Type
+	// Def is the defining node (*ast.GlobalDecl, *ast.Param,
+	// *ast.DeclStmt, *ast.BindStmt, or *ast.FunDecl).
+	Def ast.Node
+}
+
+// FunSig is a function's checked signature.
+type FunSig struct {
+	Decl    *ast.FunDecl
+	Name    string
+	Params  []Type
+	Result  Type
+	Builtin bool
+}
+
+// Info holds everything the checker learned. Later phases key their
+// own tables off the same AST nodes.
+type Info struct {
+	Prog *ast.Program
+	// ExprTypes maps every checked expression to its standard type.
+	// For place expressions this is the content type of the place.
+	ExprTypes map[ast.Expr]Type
+	// IsPlace records which expressions were checked as places
+	// (lvalues): globals, derefs, index and field expressions.
+	IsPlace map[ast.Expr]bool
+	// Uses resolves every variable occurrence to its symbol.
+	Uses map[*ast.VarExpr]*Symbol
+	// Binders maps each binding node (Param, DeclStmt, BindStmt) to
+	// the symbol it introduces.
+	Binders map[ast.Node]*Symbol
+	// StructAllocs marks NewExpr nodes that allocate a struct (their
+	// Init is a type name, not an expression).
+	StructAllocs map[*ast.NewExpr]*ast.StructDecl
+	// Funs maps function names to signatures (including builtins).
+	Funs map[string]*FunSig
+	// Structs maps struct names to declarations.
+	Structs map[string]*ast.StructDecl
+	// Globals maps global names to symbols.
+	Globals map[string]*Symbol
+}
+
+// TypeOf returns the checked type of e, or nil.
+func (in *Info) TypeOf(e ast.Expr) Type { return in.ExprTypes[e] }
+
+// ChangeOp describes one state-changing builtin — an instance of
+// CQUAL's change_type primitive [15]. Every ChangeOp takes a single
+// "ref lock" argument whose pointed-to state it flips: Acquire ops
+// require the resource released and take it; release ops require it
+// held and release it.
+type ChangeOp struct {
+	Name    string
+	Acquire bool
+	// Release is the matching op's name (for diagnostics).
+	Counterpart string
+}
+
+// ChangeOps lists the change_type instances: the spin-lock pair of
+// the Section 7 experiment plus an interrupt-flag pair, showing the
+// framework is protocol-generic.
+func ChangeOps() map[string]ChangeOp {
+	return map[string]ChangeOp{
+		"spin_lock":   {Name: "spin_lock", Acquire: true, Counterpart: "spin_unlock"},
+		"spin_unlock": {Name: "spin_unlock", Acquire: false, Counterpart: "spin_lock"},
+		"irq_save":    {Name: "irq_save", Acquire: true, Counterpart: "irq_restore"},
+		"irq_restore": {Name: "irq_restore", Acquire: false, Counterpart: "irq_save"},
+	}
+}
+
+// changeOps is the shared instance used by the predicates below.
+var changeOps = ChangeOps()
+
+// Builtins returns the builtin function signatures shared by every
+// module: the change_type instances, the opaque work() routine, and
+// print.
+func Builtins() map[string]*FunSig {
+	out := map[string]*FunSig{
+		"work": {
+			Name:    "work",
+			Params:  nil,
+			Result:  UnitType,
+			Builtin: true,
+		},
+		"print": {
+			Name:    "print",
+			Params:  []Type{IntType},
+			Result:  UnitType,
+			Builtin: true,
+		},
+	}
+	for name := range changeOps {
+		out[name] = &FunSig{
+			Name:    name,
+			Params:  []Type{&Ref{Elem: LockType}},
+			Result:  UnitType,
+			Builtin: true,
+		}
+	}
+	return out
+}
+
+// IsLockOp reports whether name is a state-changing builtin (a
+// change_type call in the experiment's terminology).
+func IsLockOp(name string) bool {
+	_, ok := changeOps[name]
+	return ok
+}
+
+// LookupChangeOp returns the ChangeOp for name.
+func LookupChangeOp(name string) (ChangeOp, bool) {
+	op, ok := changeOps[name]
+	return op, ok
+}
