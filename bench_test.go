@@ -20,12 +20,10 @@ import (
 	"strings"
 	"testing"
 
-	"localalias/internal/confine"
 	"localalias/internal/core"
 	"localalias/internal/drivergen"
 	"localalias/internal/experiments"
 	"localalias/internal/infer"
-	"localalias/internal/qual"
 	"localalias/internal/restrict"
 	"localalias/internal/solve"
 	"localalias/internal/source"
@@ -35,20 +33,10 @@ import (
 // ---------------------------------------------------------------------
 // E1–E3: the corpus experiments
 
-func BenchmarkCorpusSummary(b *testing.B) {
-	specs := drivergen.Corpus()
-	var res *experiments.CorpusResult
-	for i := 0; i < b.N; i++ {
-		res = experiments.RunCorpus(specs, nil)
-	}
-	b.StopTimer()
-	if res.Mismatches != 0 {
-		b.Fatalf("corpus mismatches: %d", res.Mismatches)
-	}
-	b.ReportMetric(float64(res.Eliminated), "eliminated")
-	b.ReportMetric(float64(res.Potential), "potential")
-	b.ReportMetric(res.EliminationRate()*100, "%eliminated")
-}
+// The body lives in internal/experiments (bench.go) so the
+// experiments command's -bench-json mode can run the same measurement
+// via testing.Benchmark.
+func BenchmarkCorpusSummary(b *testing.B) { experiments.BenchCorpusSummary(b) }
 
 func BenchmarkFigure6(b *testing.B) {
 	// The histogram inputs are the strong-updates-matter modules.
@@ -94,60 +82,17 @@ func BenchmarkFigure7(b *testing.B) {
 // E4: confine-inference overhead (paper: ide-tape, 28.5s vs 26.0s)
 
 func BenchmarkConfineOverhead(b *testing.B) {
-	var spec *drivergen.ModuleSpec
-	for _, m := range drivergen.Corpus() {
-		if m.Name == "ide_tape" {
-			spec = m
-		}
-	}
-	src := spec.Source()
-
-	b.Run("without-confine", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			mod, err := core.LoadModule("ide_tape.mc", src)
-			if err != nil {
-				b.Fatal(err)
-			}
-			res := infer.Run(mod.TInfo, mod.Diags, infer.Options{})
-			sol := solve.Solve(res.Sys)
-			qual.Analyze(res, sol, qual.ModePlain)
-		}
-	})
-	b.Run("with-confine", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			mod, err := core.LoadModule("ide_tape.mc", src)
-			if err != nil {
-				b.Fatal(err)
-			}
-			cres, err := confine.InferAndApply(mod.Prog, mod.Diags, confine.Options{Params: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
-		}
-	})
+	b.Run("without-confine", func(b *testing.B) { experiments.BenchConfineOverhead(b, false) })
+	b.Run("with-confine", func(b *testing.B) { experiments.BenchConfineOverhead(b, true) })
 }
 
 // ---------------------------------------------------------------------
 // E5/E6: complexity scaling
 
 // scalingProgram builds a program with funcs functions; the first k
-// contain an explicit restrict. Program size n grows linearly with
-// funcs.
+// contain an explicit restrict (see experiments.ScalingProgram).
 func scalingProgram(funcs, k int) string {
-	var sb strings.Builder
-	for i := 0; i < funcs; i++ {
-		fmt.Fprintf(&sb, "fun f%d(q: ref int): int {\n", i)
-		if i < k {
-			fmt.Fprintf(&sb, "    restrict p = q {\n        *p = *p + %d;\n    }\n", i)
-		} else {
-			fmt.Fprintf(&sb, "    let p = q;\n    *p = *p + %d;\n", i)
-		}
-		sb.WriteString("    let t = new 1;\n")
-		sb.WriteString("    *t = *t + *q;\n")
-		sb.WriteString("    return *t;\n}\n\n")
-	}
-	return sb.String()
+	return experiments.ScalingProgram(funcs, k)
 }
 
 func benchCheck(b *testing.B, funcs, k int) {
@@ -320,20 +265,7 @@ func BenchmarkScopeHeuristic(b *testing.B) {
 // ---------------------------------------------------------------------
 // Micro: solver throughput
 
-func BenchmarkSolverPropagation(b *testing.B) {
-	src := scalingProgram(200, 0)
-	mod, err := core.LoadModule("scale.mc", src)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < b.N; i++ {
-		res := infer.Run(mod.TInfo, mod.Diags, infer.Options{InferRestrictLets: true})
-		sol := solve.Solve(res.Sys)
-		if sol.AtomsPropagated == 0 {
-			b.Fatal("no propagation")
-		}
-	}
-}
+func BenchmarkSolverPropagation(b *testing.B) { experiments.BenchSolverPropagation(b) }
 
 // Guard: the scaling generator must produce type-correct programs.
 func TestScalingProgramsCompile(t *testing.T) {

@@ -28,9 +28,10 @@ func main() {
 		fig7    = flag.Bool("fig7", false, "print only Figure 7 (E3)")
 		timing  = flag.Bool("timing", false, "print only the timing comparison (E4)")
 		rounds  = flag.Int("rounds", 5, "timing rounds for -timing")
-		dump    = flag.String("dump", "", "write generated corpus sources to this directory and exit")
-		csvPath = flag.String("csv", "", "also write per-module results as CSV to this file")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		dump      = flag.String("dump", "", "write generated corpus sources to this directory and exit")
+		csvPath   = flag.String("csv", "", "also write per-module results as CSV to this file")
+		benchJSON = flag.String("bench-json", "", "run the solver benchmarks, write ns/op as JSON to this file (- for stdout), and exit")
+		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -38,6 +39,27 @@ func main() {
 		if err := dumpCorpus(*dump); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running solver benchmarks (this takes a few seconds per benchmark)...")
+		}
+		data, err := experiments.RunBenchJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *benchJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
 		}
 		return
 	}
@@ -54,7 +76,8 @@ func main() {
 		start := time.Now()
 		res = experiments.RunCorpus(drivergen.Corpus(), progress)
 		if !*quiet {
-			fmt.Fprintf(progress, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(progress, "done in %v\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(progress, "solver totals: %s\n\n", res.SolveStats)
 		}
 	}
 

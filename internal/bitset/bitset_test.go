@@ -1,0 +1,85 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	if !s.Add(0) || !s.Add(63) || !s.Add(64) || !s.Add(1000) {
+		t.Fatal("fresh adds must report true")
+	}
+	if s.Add(64) {
+		t.Fatal("duplicate add must report false")
+	}
+	for _, i := range []int{0, 63, 64, 1000} {
+		if !s.Has(i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	if s.Has(65) || s.Has(4096) {
+		t.Fatal("spurious member")
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	s.Remove(63)
+	s.Remove(4096) // out of range: no-op
+	if s.Has(63) || s.Len() != 3 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestForEachOrderAndSnapshot(t *testing.T) {
+	var s Set
+	want := []int32{3, 64, 65, 127, 128, 513}
+	for _, i := range want {
+		s.Add(int(i))
+	}
+	var got []int32
+	s.ForEach(func(i int) { got = append(got, int32(i)) })
+	snap := s.AppendMembers(nil)
+	for i := range want {
+		if got[i] != want[i] || snap[i] != want[i] {
+			t.Fatalf("order mismatch: got %v snap %v want %v", got, snap, want)
+		}
+	}
+	if len(got) != len(want) || len(snap) != len(want) {
+		t.Fatalf("lengths: %d/%d want %d", len(got), len(snap), len(want))
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var s Set
+	model := map[int]bool{}
+	for op := 0; op < 20000; op++ {
+		i := r.Intn(2048)
+		switch r.Intn(3) {
+		case 0:
+			added := s.Add(i)
+			if added == model[i] {
+				t.Fatalf("Add(%d) = %v, model has %v", i, added, model[i])
+			}
+			model[i] = true
+		case 1:
+			s.Remove(i)
+			delete(model, i)
+		case 2:
+			if s.Has(i) != model[i] {
+				t.Fatalf("Has(%d) = %v, model %v", i, s.Has(i), model[i])
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear must empty the set")
+	}
+}

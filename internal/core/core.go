@@ -90,6 +90,11 @@ type LockingResult struct {
 
 	// Confine is the inference run that produced WithConfine.
 	Confine *confine.Result
+
+	// SolveStats aggregates the constraint-solver work counters over
+	// both solves (the baseline solve shared by the no-confine and
+	// all-strong modes, and the confine-inference solve).
+	SolveStats solve.Stats
 }
 
 // Potential returns the number of spurious errors that strong
@@ -128,5 +133,7 @@ func (m *Module) AnalyzeLocking(opts LockingOptions) (*LockingResult, error) {
 	}
 	out.Confine = cres
 	out.WithConfine = qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
+	out.SolveStats.Add(baseSol.Stats)
+	out.SolveStats.Add(cres.Solution.Stats)
 	return out, nil
 }

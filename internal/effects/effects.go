@@ -234,17 +234,43 @@ type Cond struct {
 // ---------------------------------------------------------------------
 // System
 
+// varName is a lazily concatenated diagnostic label. Inference mints
+// tens of thousands of variables whose names are only ever read when
+// a diagnostic prints, so the pieces ("esc(", name, ")") are stored
+// unjoined and assembled on demand by VarName.
+type varName struct {
+	pre, mid, suf string
+}
+
 // System accumulates the constraints generated by one inference run.
 type System struct {
 	Locs *locs.Store
 
-	varNames []string
+	varNames []varName
 
+	// Incls holds general inclusion constraints (unions,
+	// intersections). The two overwhelmingly common forms — ε₁ ⊆ ε₂
+	// and {a} ⊆ ε — are kept in dense side-lists instead, so the
+	// builder hot path appends a small struct rather than boxing an
+	// Expr, and Normalize emits their norms directly.
 	Incls      []Incl
+	VarIncls   []VarIncl
+	AtomIncls  []AtomIncl
 	NotIns     []NotIn
 	KindNotIns []KindNotIn
 	PairNotIns []PairNotIn
 	Conds      []*Cond
+}
+
+// VarIncl is the dense representation of From ⊆ To.
+type VarIncl struct {
+	From, To Var
+}
+
+// AtomIncl is the dense representation of {A} ⊆ V.
+type AtomIncl struct {
+	A Atom
+	V Var
 }
 
 // NewSystem returns an empty system over the given location store.
@@ -260,27 +286,67 @@ func (s *System) VarName(v Var) string {
 	if v < 0 || int(v) >= len(s.varNames) {
 		return fmt.Sprintf("ε%d", v)
 	}
-	return s.varNames[v]
+	n := s.varNames[v]
+	if n.pre == "" && n.suf == "" {
+		return n.mid
+	}
+	return n.pre + n.mid + n.suf
 }
 
 // Fresh creates a new effect variable.
 func (s *System) Fresh(name string) Var {
+	return s.FreshN("", name, "")
+}
+
+// Reserve pre-sizes the variable table and the dense inclusion lists
+// for roughly vars variables and incls inclusions, so a caller that
+// can estimate the system's size (inference knows the expression
+// count) avoids growth reallocation on the hot path. Estimates may be
+// exceeded freely; growth then proceeds normally.
+func (s *System) Reserve(vars, incls int) {
+	if cap(s.varNames) < vars {
+		grown := make([]varName, len(s.varNames), vars)
+		copy(grown, s.varNames)
+		s.varNames = grown
+	}
+	if cap(s.VarIncls) < incls {
+		grown := make([]VarIncl, len(s.VarIncls), incls)
+		copy(grown, s.VarIncls)
+		s.VarIncls = grown
+	}
+	if cap(s.AtomIncls) < incls/2 {
+		grown := make([]AtomIncl, len(s.AtomIncls), incls/2)
+		copy(grown, s.AtomIncls)
+		s.AtomIncls = grown
+	}
+}
+
+// FreshN creates a new effect variable whose diagnostic name is
+// pre+mid+suf, deferring the concatenation until VarName is called.
+func (s *System) FreshN(pre, mid, suf string) Var {
 	v := Var(len(s.varNames))
-	s.varNames = append(s.varNames, name)
+	s.varNames = append(s.varNames, varName{pre: pre, mid: mid, suf: suf})
 	return v
 }
 
-// AddIncl records L ⊆ v.
+// AddIncl records L ⊆ v. The common single-variable and single-atom
+// forms are routed to their dense lists.
 func (s *System) AddIncl(l Expr, v Var) {
-	if _, isEmpty := l.(Empty); isEmpty {
+	switch l := l.(type) {
+	case Empty:
 		return
+	case VarRef:
+		s.AddVarIncl(l.V, v)
+	case AtomExpr:
+		s.AddAtom(l.A, v)
+	default:
+		s.Incls = append(s.Incls, Incl{L: l, V: v})
 	}
-	s.Incls = append(s.Incls, Incl{L: l, V: v})
 }
 
 // AddAtom records {a} ⊆ v.
 func (s *System) AddAtom(a Atom, v Var) {
-	s.AddIncl(AtomExpr{A: a}, v)
+	s.AtomIncls = append(s.AtomIncls, AtomIncl{A: a, V: v})
 }
 
 // AddVarIncl records from ⊆ to.
@@ -288,7 +354,7 @@ func (s *System) AddVarIncl(from, to Var) {
 	if from == to {
 		return
 	}
-	s.AddIncl(VarRef{V: from}, to)
+	s.VarIncls = append(s.VarIncls, VarIncl{From: from, To: to})
 }
 
 // AddNotIn records the check ρ ∉ v.
@@ -361,9 +427,10 @@ func (m M) String() string {
 // total. The rules preserve least solutions (not arbitrary
 // solutions), which is all satisfiability testing needs.
 func (s *System) Normalize() []Norm {
-	var out []Norm
-	var work []Incl
-	work = append(work, s.Incls...)
+	// Nearly every inclusion yields exactly one norm; unions add a few
+	// more. Sizing to the input avoids repeated regrowth on big systems.
+	out := make([]Norm, 0, len(s.Incls)+len(s.VarIncls)+len(s.AtomIncls))
+	work := append(make([]Incl, 0, len(s.Incls)+8), s.Incls...)
 	for len(work) > 0 {
 		in := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -389,6 +456,18 @@ func (s *System) Normalize() []Norm {
 		default:
 			panic(fmt.Sprintf("effects: unknown expression %T", in.L))
 		}
+	}
+	// The dense lists are already in M ⊆ ε form. Reverse creation
+	// order matches the LIFO decomposition above, preserving the edge
+	// layout (and so the propagation schedule) of the pre-split
+	// builder.
+	for i := len(s.VarIncls) - 1; i >= 0; i-- {
+		vi := s.VarIncls[i]
+		out = append(out, Norm{Left: VarM(vi.From), V: vi.To})
+	}
+	for i := len(s.AtomIncls) - 1; i >= 0; i-- {
+		ai := s.AtomIncls[i]
+		out = append(out, Norm{Left: AtomM(ai.A), V: ai.V})
 	}
 	return out
 }

@@ -1,0 +1,69 @@
+package effects
+
+// ID is the dense index of an interned Atom. The solver works almost
+// exclusively in ID space: effect-variable solution sets and
+// intersection-node gate sets are bitsets over IDs, and propagation
+// moves int32 indices instead of hashing Atom structs.
+type ID int32
+
+// NoID is the absent atom ID.
+const NoID ID = -1
+
+// Interner assigns stable dense IDs to Atom values. IDs are assigned
+// in first-intern order, so two runs that intern the same atom
+// sequence produce identical numberings — which keeps solver
+// statistics and diagnostics deterministic.
+//
+// The interner does not canonicalize locations itself: callers intern
+// atoms whose Loc they have already resolved via locs.Store.Find, and
+// after a later unification the same kind×class may legitimately be
+// re-interned under the new representative. Stale IDs stay in the
+// table — solution sets are read through Find, so the solver leaves
+// them in place and only re-examines the intersection gates that hold
+// one (see solve.recanonicalize).
+type Interner struct {
+	ids   map[Atom]ID
+	atoms []Atom
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Atom]ID)}
+}
+
+// NewInternerSized returns an empty interner pre-sized for about n
+// atoms, avoiding map rehashing when the caller can bound the count
+// (the solver uses the location-store size).
+func NewInternerSized(n int) *Interner {
+	return &Interner{
+		ids:   make(map[Atom]ID, n),
+		atoms: make([]Atom, 0, n),
+	}
+}
+
+// Intern returns the ID of a, assigning the next dense ID on first
+// sight.
+func (in *Interner) Intern(a Atom) ID {
+	if id, ok := in.ids[a]; ok {
+		return id
+	}
+	id := ID(len(in.atoms))
+	in.ids[a] = id
+	in.atoms = append(in.atoms, a)
+	return id
+}
+
+// Lookup returns the ID of a, or NoID if a has never been interned.
+func (in *Interner) Lookup(a Atom) (ID, bool) {
+	id, ok := in.ids[a]
+	if !ok {
+		return NoID, false
+	}
+	return id, true
+}
+
+// Atom returns the atom with the given ID.
+func (in *Interner) Atom(id ID) Atom { return in.atoms[id] }
+
+// Len returns the number of distinct atoms interned.
+func (in *Interner) Len() int { return len(in.atoms) }

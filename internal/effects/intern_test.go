@@ -1,0 +1,51 @@
+package effects
+
+import (
+	"testing"
+
+	"localalias/internal/locs"
+)
+
+func TestInternerDenseStableIDs(t *testing.T) {
+	ls := locs.NewStore()
+	r1, r2 := ls.Fresh("r1"), ls.Fresh("r2")
+	in := NewInterner()
+
+	a := Atom{Kind: Read, Loc: r1}
+	b := Atom{Kind: Write, Loc: r1}
+	c := Atom{Kind: Read, Loc: r2}
+
+	ida, idb, idc := in.Intern(a), in.Intern(b), in.Intern(c)
+	if ida != 0 || idb != 1 || idc != 2 {
+		t.Fatalf("IDs must be dense in first-intern order: %d %d %d", ida, idb, idc)
+	}
+	if in.Intern(a) != ida || in.Intern(c) != idc {
+		t.Fatal("re-interning must return the same ID")
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+	if in.Atom(idb) != b {
+		t.Fatalf("Atom(%d) = %v, want %v", idb, in.Atom(idb), b)
+	}
+	if id, ok := in.Lookup(b); !ok || id != idb {
+		t.Fatal("Lookup must find interned atoms")
+	}
+	if _, ok := in.Lookup(Atom{Kind: Alloc, Loc: r2}); ok {
+		t.Fatal("Lookup must miss never-interned atoms")
+	}
+}
+
+func TestInternerDistinguishesKindAndLoc(t *testing.T) {
+	ls := locs.NewStore()
+	r := ls.Fresh("r")
+	in := NewInterner()
+	seen := map[ID]bool{}
+	for k := LocAtom; k <= Alloc; k++ {
+		id := in.Intern(Atom{Kind: k, Loc: r})
+		if seen[id] {
+			t.Fatalf("kind %v collided", k)
+		}
+		seen[id] = true
+	}
+}

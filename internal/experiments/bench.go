@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"localalias/internal/confine"
+	"localalias/internal/core"
+	"localalias/internal/drivergen"
+	"localalias/internal/infer"
+	"localalias/internal/qual"
+	"localalias/internal/solve"
+)
+
+// This file holds the benchmark bodies shared between `go test -bench`
+// (the root bench_test.go delegates here) and the experiments
+// command's -bench-json mode, which runs them via testing.Benchmark
+// and emits machine-readable ns/op — the numbers BENCH_solver.json at
+// the repo root records before/after solver changes.
+
+// ScalingProgram builds a program with funcs functions; the first k
+// contain an explicit restrict. Program size n grows linearly with
+// funcs.
+func ScalingProgram(funcs, k int) string {
+	var sb strings.Builder
+	for i := 0; i < funcs; i++ {
+		fmt.Fprintf(&sb, "fun f%d(q: ref int): int {\n", i)
+		if i < k {
+			fmt.Fprintf(&sb, "    restrict p = q {\n        *p = *p + %d;\n    }\n", i)
+		} else {
+			fmt.Fprintf(&sb, "    let p = q;\n    *p = *p + %d;\n", i)
+		}
+		sb.WriteString("    let t = new 1;\n")
+		sb.WriteString("    *t = *t + *q;\n")
+		sb.WriteString("    return *t;\n}\n\n")
+	}
+	return sb.String()
+}
+
+// BenchSolverPropagation measures inference + solve throughput on a
+// 200-function program with let-or-restrict conditional constraints
+// (parsing and standard checking excluded).
+func BenchSolverPropagation(b *testing.B) {
+	src := ScalingProgram(200, 0)
+	mod, err := core.LoadModule("scale.mc", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := infer.Run(mod.TInfo, mod.Diags, infer.Options{InferRestrictLets: true})
+		sol := solve.Solve(res.Sys)
+		if sol.AtomsPropagated == 0 {
+			b.Fatal("no propagation")
+		}
+	}
+}
+
+// BenchCorpusSummary measures the full E1 experiment: the three-mode
+// analysis of all 589 corpus modules.
+func BenchCorpusSummary(b *testing.B) {
+	specs := drivergen.Corpus()
+	var res *CorpusResult
+	for i := 0; i < b.N; i++ {
+		res = RunCorpus(specs, nil)
+	}
+	b.StopTimer()
+	if res.Mismatches != 0 {
+		b.Fatalf("corpus mismatches: %d", res.Mismatches)
+	}
+	b.ReportMetric(float64(res.Eliminated), "eliminated")
+	b.ReportMetric(float64(res.Potential), "potential")
+	b.ReportMetric(res.EliminationRate()*100, "%eliminated")
+}
+
+// BenchConfineOverhead measures one full analysis of ide_tape (the E4
+// module) with or without confine inference.
+func BenchConfineOverhead(b *testing.B, withConfine bool) {
+	var spec *drivergen.ModuleSpec
+	for _, m := range drivergen.Corpus() {
+		if m.Name == "ide_tape" {
+			spec = m
+		}
+	}
+	src := spec.Source()
+	for i := 0; i < b.N; i++ {
+		mod, err := core.LoadModule("ide_tape.mc", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withConfine {
+			cres, err := confine.InferAndApply(mod.Prog, mod.Diags, confine.Options{Params: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
+		} else {
+			res := infer.Run(mod.TInfo, mod.Diags, infer.Options{})
+			sol := solve.Solve(res.Sys)
+			qual.Analyze(res, sol, qual.ModePlain)
+		}
+	}
+}
+
+// BenchMeasurement is one benchmark's measurement in -bench-json
+// output.
+type BenchMeasurement struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// RunBenchJSON runs the solver benchmarks via testing.Benchmark and
+// returns the measurements as indented JSON (the same shape the
+// committed BENCH_solver.json uses for its before/after snapshots).
+func RunBenchJSON() ([]byte, error) {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkSolverPropagation", BenchSolverPropagation},
+		{"BenchmarkCorpusSummary", BenchCorpusSummary},
+		{"BenchmarkConfineOverhead/without-confine", func(b *testing.B) { BenchConfineOverhead(b, false) }},
+		{"BenchmarkConfineOverhead/with-confine", func(b *testing.B) { BenchConfineOverhead(b, true) }},
+	}
+	var out []BenchMeasurement
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s failed (zero iterations)", bench.name)
+		}
+		out = append(out, BenchMeasurement{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"localalias/internal/confine"
@@ -42,6 +43,9 @@ type ModuleResult struct {
 	Planted, Kept int
 	// AnalyzeTime covers the three-mode analysis.
 	AnalyzeTime time.Duration
+	// SolveStats aggregates the solver work counters over the
+	// module's two solves.
+	SolveStats solve.Stats
 	// Err is non-nil if the module failed to compile or analyze.
 	Err error
 }
@@ -74,6 +78,12 @@ type CorpusResult struct {
 	// Mismatches counts modules whose measured triple differs from
 	// the generator's expectation (0 in a healthy build).
 	Mismatches int
+
+	// SolveStats aggregates the solver work counters over the whole
+	// corpus — a coarse regression canary for the constraint solver
+	// (the counters are deterministic per module, so corpus totals are
+	// reproducible too).
+	SolveStats solve.Stats
 }
 
 // EliminationRate is the headline 95% number.
@@ -106,36 +116,45 @@ func analyzeSpec(spec *drivergen.ModuleSpec) *ModuleResult {
 	}
 	out.Planted = lr.Confine.Planted
 	out.Kept = len(lr.Confine.Kept)
+	out.SolveStats = lr.SolveStats
 	return out
 }
 
 // RunCorpus analyzes the given specs (pass drivergen.Corpus() for the
-// full experiment) using all CPUs. Progress dots go to progress when
-// non-nil.
+// full experiment) on a fixed pool of one worker per CPU. Workers pull
+// the next module off a shared atomic counter, so the scheduler never
+// sees more than NumCPU analysis goroutines at once (the previous
+// goroutine-per-module version spawned all 589 up front and parked
+// most of them on a semaphore). Progress lines go to progress when
+// non-nil, including a final "589/589" flush.
 func RunCorpus(specs []*drivergen.ModuleSpec, progress io.Writer) *CorpusResult {
 	results := make([]*ModuleResult, len(specs))
+	nw := runtime.NumCPU()
+	if nw > len(specs) {
+		nw = len(specs)
+	}
+	var next, done atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	var mu sync.Mutex
-	done := 0
-	for i, spec := range specs {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(i int, spec *drivergen.ModuleSpec) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = analyzeSpec(spec)
-			if progress != nil {
-				mu.Lock()
-				done++
-				if done%50 == 0 {
-					fmt.Fprintf(progress, "  ...%d/%d modules\n", done, len(specs))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
 				}
-				mu.Unlock()
+				results[i] = analyzeSpec(specs[i])
+				if n := int(done.Add(1)); progress != nil && n%50 == 0 && n < len(specs) {
+					fmt.Fprintf(progress, "  ...%d/%d modules\n", n, len(specs))
+				}
 			}
-		}(i, spec)
+		}()
 	}
 	wg.Wait()
+	if progress != nil && len(specs) > 0 {
+		fmt.Fprintf(progress, "  ...%d/%d modules\n", len(specs), len(specs))
+	}
 	return aggregate(results)
 }
 
@@ -165,6 +184,7 @@ func aggregate(results []*ModuleResult) *CorpusResult {
 		}
 		r.Potential += m.Potential()
 		r.Eliminated += m.Eliminated()
+		r.SolveStats.Add(m.SolveStats)
 	}
 	return r
 }

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"fmt"
+	"strconv"
 
 	"localalias/internal/ast"
 	"localalias/internal/effects"
@@ -132,6 +133,10 @@ func (r *Result) Succeeded(c *Candidate) bool {
 func Run(tinfo *types.Info, diags *source.Diagnostics, opts Options) *Result {
 	ls := locs.NewStore()
 	sys := effects.NewSystem(ls)
+	// Inference mints a few variables and inclusions per expression;
+	// reserving against the typed-expression count avoids slice growth
+	// on the constraint-building hot path.
+	sys.Reserve(2*len(tinfo.ExprTypes), 2*len(tinfo.ExprTypes))
 	b := newBuilder(ls, sys)
 	b.structReg = tinfo.Structs
 
@@ -147,12 +152,12 @@ func Run(tinfo *types.Info, diags *source.Diagnostics, opts Options) *Result {
 			TInfo:      tinfo,
 			Locs:       ls,
 			Sys:        sys,
-			LTypes:     make(map[ast.Expr]*LType),
-			PlaceCells: make(map[ast.Expr]locs.Loc),
-			Bindings:   make(map[ast.Node]*Binding),
+			LTypes:     make(map[ast.Expr]*LType, len(tinfo.ExprTypes)),
+			PlaceCells: make(map[ast.Expr]locs.Loc, len(tinfo.IsPlace)),
+			Bindings:   make(map[ast.Node]*Binding, len(tinfo.Binders)),
 			FunEff:     make(map[effKey]effects.Var),
 			FunBody:    make(map[effKey]effects.Var),
-			SymLTypes:  make(map[*types.Symbol]*LType),
+			SymLTypes:  make(map[*types.Symbol]*LType, len(tinfo.Binders)),
 		},
 	}
 	inf.run()
@@ -242,9 +247,9 @@ func (inf *inferencer) run() {
 		}
 		fi := &funLInfo{
 			sig:  sig,
-			eff:  inf.sys.Fresh("eff(" + f.Name + ")"),
-			body: inf.sys.Fresh("body(" + f.Name + ")"),
-			keep: inf.sys.Fresh("keep(" + f.Name + ")"),
+			eff:  inf.sys.FreshN("eff(", f.Name, ")"),
+			body: inf.sys.FreshN("body(", f.Name, ")"),
+			keep: inf.sys.FreshN("keep(", f.Name, ")"),
 		}
 		for i, pt := range sig.Params {
 			fi.params = append(fi.params, inf.b.build(pt, modePlaceholder, f.Name+"."+f.Params[i].Name, nil))
@@ -285,7 +290,7 @@ func (inf *inferencer) run() {
 // extendEnv returns a fresh ε_Γ variable covering env plus t, per the
 // incremental ε_Γ scheme of Section 4.
 func (inf *inferencer) extendEnv(env effects.Var, t *LType, what string) effects.Var {
-	nv := inf.sys.Fresh("Γ+" + what)
+	nv := inf.sys.FreshN("Γ+", what, "")
 	inf.sys.AddVarIncl(env, nv)
 	inf.sys.AddVarIncl(t.TVar(), nv)
 	return nv
@@ -352,7 +357,7 @@ func (inf *inferencer) inferFun(f *ast.FunDecl, fi *funLInfo) {
 // globals, the other parameters' original types, the content type,
 // and the result type.
 func (inf *inferencer) paramEscapeVar(fi *funLInfo, i int, orig *LType, name string) effects.Var {
-	esc := inf.sys.Fresh("esc(" + name + ")")
+	esc := inf.sys.FreshN("esc(", name, ")")
 	inf.sys.AddVarIncl(inf.envG, esc)
 	for j, q := range fi.params {
 		if j != i {
@@ -367,13 +372,16 @@ func (inf *inferencer) paramEscapeVar(fi *funLInfo, i int, orig *LType, name str
 // addRelayConds surfaces effects on a restricted copy ρ′ as effects
 // on the underlying ρ in out ("X(ρ′) ∈ L₂ ⇒ {X(ρ)} ⊆ π").
 func (inf *inferencer) addRelayConds(kind, name string, rhoP locs.Loc, l2 effects.Var, rho locs.Loc, out effects.Var) {
+	// One conditional per effect kind; the reason is shared (these are
+	// emitted for every candidate, so avoid formatting three times).
+	reason := kind + " " + strconv.Quote(name) + ": effect on restricted copy surfaces on ρ"
 	for _, k := range []effects.Kind{effects.Read, effects.Write, effects.Alloc} {
 		inf.sys.AddCond(&effects.Cond{
 			Trigger: effects.AtomIn{Kind: k, Loc: rhoP, V: l2},
 			Actions: []effects.Action{effects.ActAddAtom{
 				A: effects.Atom{Kind: k, Loc: rho}, V: out,
 			}},
-			Reason: fmt.Sprintf("%s %q: effect on restricted copy surfaces on ρ", kind, name),
+			Reason: reason,
 		})
 	}
 }
@@ -395,15 +403,16 @@ func (inf *inferencer) restrictEffect(name string, rho, rhoP locs.Loc, l2, sink 
 // esc; relayed effects land in out.
 func (inf *inferencer) addCandidateConds(c *Candidate, l2 effects.Var, esc effects.Var, out effects.Var) {
 	fail := []effects.Action{effects.ActUnify{A: c.Rho, B: c.RhoP}}
+	head := c.Kind.String() + " " + strconv.Quote(c.Name)
 	inf.sys.AddCond(&effects.Cond{
 		Trigger: effects.LocIn{Loc: c.Rho, V: l2},
 		Actions: fail,
-		Reason:  fmt.Sprintf("%s %q: outer location accessed within the scope", c.Kind, c.Name),
+		Reason:  head + ": outer location accessed within the scope",
 	})
 	inf.sys.AddCond(&effects.Cond{
 		Trigger: effects.LocIn{Loc: c.RhoP, V: esc},
 		Actions: fail,
-		Reason:  fmt.Sprintf("%s %q: restricted pointer escapes its scope", c.Kind, c.Name),
+		Reason:  head + ": restricted pointer escapes its scope",
 	})
 	// (ρ′ ∈ L₂) ⇒ {X(ρ)} ⊆ ε: the conditional restrict effect.
 	inf.addRelayConds(c.Kind.String(), c.Name, c.RhoP, l2, c.Rho, out)
@@ -447,7 +456,7 @@ func (inf *inferencer) declStmt(s *ast.DeclStmt, rest []ast.Stmt, sink, env effe
 		inf.res.SymLTypes[sym] = xT
 		inf.res.Bindings[s] = &Binding{Node: s, Rho: rho, RhoP: rhoP, Explicit: true}
 
-		l2 := inf.sys.Fresh("L2(" + s.Name + ")")
+		l2 := inf.sys.FreshN("L2(", s.Name, ")")
 		esc := inf.escapeVar(env, initT, s.Name)
 		env2 := inf.extendEnv(env, xT, s.Name)
 		inf.walkStmts(rest, l2, env2)
@@ -471,7 +480,7 @@ func (inf *inferencer) declStmt(s *ast.DeclStmt, rest []ast.Stmt, sink, env effe
 			Rho:  rho,
 			RhoP: rhoP,
 		}
-		l2 := inf.sys.Fresh("L2(" + s.Name + ")")
+		l2 := inf.sys.FreshN("L2(", s.Name, ")")
 		esc := inf.escapeVar(env, initT, s.Name)
 		env2 := inf.extendEnv(env, xT, s.Name)
 		inf.walkStmts(rest, l2, env2)
@@ -491,7 +500,7 @@ func (inf *inferencer) declStmt(s *ast.DeclStmt, rest []ast.Stmt, sink, env effe
 // escapeVar builds locs(Γ, τ₁, τ₂): the environment at the binder,
 // the content type of the bound pointer, and the function result.
 func (inf *inferencer) escapeVar(env effects.Var, refT *LType, name string) effects.Var {
-	esc := inf.sys.Fresh("esc(" + name + ")")
+	esc := inf.sys.FreshN("esc(", name, ")")
 	inf.sys.AddVarIncl(env, esc)
 	inf.sys.AddVarIncl(refT.Elem().TVar(), esc)
 	if inf.cur != nil {
@@ -563,7 +572,7 @@ func (inf *inferencer) bindStmt(s *ast.BindStmt, sink, env effects.Var) {
 	inf.res.SymLTypes[sym] = xT
 	inf.res.Bindings[s] = &Binding{Node: s, Rho: rho, RhoP: rhoP, Explicit: true}
 
-	l2 := inf.sys.Fresh("L2(" + s.Name + ")")
+	l2 := inf.sys.FreshN("L2(", s.Name, ")")
 	esc := inf.escapeVar(env, initT, s.Name)
 	env2 := inf.extendEnv(env, xT, s.Name)
 	inf.walkStmts(s.Body.Stmts, l2, env2)
@@ -585,7 +594,7 @@ func (inf *inferencer) confineStmt(s *ast.ConfineStmt, sink, env effects.Var) {
 	}
 	name := ast.ExprString(s.Expr)
 
-	l1 := inf.sys.Fresh("L1(" + name + ")")
+	l1 := inf.sys.FreshN("L1(", name, ")")
 	e1T := inf.expr(s.Expr, l1, env)
 	inf.sys.AddVarIncl(l1, sink)
 	if e1T.Kind() != LRef {
@@ -597,8 +606,8 @@ func (inf *inferencer) confineStmt(s *ast.ConfineStmt, sink, env effects.Var) {
 	rho := e1T.Cell()
 	rhoP := inf.ls.FreshRestricted(name + "'")
 	xT := inf.b.mkRef(rhoP, e1T.Elem(), name+"'")
-	pi := inf.sys.Fresh("π'(" + name + ")")
-	l2 := inf.sys.Fresh("L2(" + name + ")")
+	pi := inf.sys.FreshN("π'(", name, ")")
+	l2 := inf.sys.FreshN("L2(", name, ")")
 	esc := inf.escapeVar(env, e1T, name)
 
 	inf.confines = append(inf.confines, &confCtx{expr: s.Expr, xT: xT, pi: pi})

@@ -148,6 +148,12 @@ type builder struct {
 	// instantiate call (used to emit alloc effects for struct
 	// allocation).
 	cellsMade []locs.Loc
+
+	// slab chunk-allocates LType nodes: one make per 256 nodes
+	// instead of one per node. Chunks are never reallocated (a full
+	// chunk is replaced by a fresh one), so returned pointers stay
+	// valid.
+	slab []LType
 }
 
 func newBuilder(ls *locs.Store, sys *effects.System) *builder {
@@ -160,7 +166,11 @@ func newBuilder(ls *locs.Store, sys *effects.System) *builder {
 
 // newNode allocates a node with its ε_τ variable.
 func (b *builder) newNode(k LKind, name string) *LType {
-	return &LType{kind: k, cell: locs.NoLoc, tvar: b.sys.Fresh("τ(" + name + ")")}
+	if len(b.slab) == cap(b.slab) {
+		b.slab = make([]LType, 0, 256)
+	}
+	b.slab = append(b.slab, LType{kind: k, cell: locs.NoLoc, tvar: b.sys.FreshN("τ(", name, ")")})
+	return &b.slab[len(b.slab)-1]
 }
 
 // cellFor makes a location according to mode.

@@ -344,11 +344,14 @@ func (a *analyzer) havoc(fn string, sigma store) {
 	if !ok {
 		return
 	}
-	for _, at := range a.sol.Atoms(eff) {
+	// EachAtom may repeat a canonical atom; writing Top twice is
+	// harmless, and skipping the dedup+sort of Atoms keeps recursive
+	// havoc allocation-free.
+	a.sol.EachAtom(eff, func(at effects.Atom) {
 		if at.Kind == effects.Write {
-			sigma[a.res.Locs.Find(at.Loc)] = Top
+			sigma[at.Loc] = Top
 		}
-	}
+	})
 }
 
 // stmts analyzes a statement list, returning (fallthrough state,

@@ -23,6 +23,7 @@ import (
 	"localalias/internal/ast"
 	"localalias/internal/effects"
 	"localalias/internal/infer"
+	"localalias/internal/locs"
 	"localalias/internal/solve"
 	"localalias/internal/source"
 	"localalias/internal/types"
@@ -117,6 +118,34 @@ func Infer(tinfo *types.Info, diags *source.Diagnostics, opts Options) *InferRes
 	sol := solve.Solve(res.Sys)
 	out := &InferResult{Infer: res, Solution: sol}
 
+	// Index the fired conditionals by the location pair their ActUnify
+	// merges, once, instead of scanning all of sol.Fired per rejected
+	// candidate (O(rejected × fired) on large modules). Reasons keep
+	// firing order, and a conditional contributes one reason per pair
+	// even if it carries both orientations.
+	firedUnifies := make(map[[2]locs.Loc][]string)
+	for _, f := range sol.Fired {
+		var done [][2]locs.Loc
+	actions:
+		for _, a := range f.Actions {
+			u, ok := a.(effects.ActUnify)
+			if !ok {
+				continue
+			}
+			key := [2]locs.Loc{u.A, u.B}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			for _, d := range done {
+				if d == key {
+					continue actions
+				}
+			}
+			done = append(done, key)
+			firedUnifies[key] = append(firedUnifies[key], f.Reason)
+		}
+	}
+
 	for _, c := range res.Candidates {
 		if res.Succeeded(c) {
 			if d, ok := c.Node.(*ast.DeclStmt); ok {
@@ -125,14 +154,13 @@ func Infer(tinfo *types.Info, diags *source.Diagnostics, opts Options) *InferRes
 			out.Restricted = append(out.Restricted, c)
 			continue
 		}
-		var why []string
-		for _, f := range sol.Fired {
-			if hasUnifyOf(f, c) {
-				why = append(why, f.Reason)
-			}
+		key := [2]locs.Loc{c.Rho, c.RhoP}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
 		}
+		why := firedUnifies[key]
 		if len(why) == 0 {
-			why = append(why, "locations unified transitively by other constraints")
+			why = []string{"locations unified transitively by other constraints"}
 		}
 		out.Rejected = append(out.Rejected, Rejection{Cand: c, Reasons: why})
 	}
@@ -142,20 +170,6 @@ func Infer(tinfo *types.Info, diags *source.Diagnostics, opts Options) *InferRes
 		diags.Errorf(tinfo.Prog.File, v.Site, "restrict", "%s", v.String())
 	}
 	return out
-}
-
-// hasUnifyOf reports whether the fired conditional unifies the
-// candidate's pair (i.e. it is one of the candidate's failure
-// conditions).
-func hasUnifyOf(c *effects.Cond, cand *infer.Candidate) bool {
-	for _, a := range c.Actions {
-		if u, ok := a.(effects.ActUnify); ok {
-			if (u.A == cand.Rho && u.B == cand.RhoP) || (u.A == cand.RhoP && u.B == cand.Rho) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // Summary renders a one-line-per-candidate report.

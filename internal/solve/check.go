@@ -3,8 +3,8 @@ package solve
 import (
 	"fmt"
 
+	"localalias/internal/bitset"
 	"localalias/internal/effects"
-	"localalias/internal/locs"
 	"localalias/internal/source"
 )
 
@@ -119,14 +119,14 @@ func (c *Checker) Sat(ni effects.NotIn) bool {
 			}
 		}
 	}
-	for i, in := range g.inter {
-		for _, a := range in.leftSeeds {
+	for i := range g.inter {
+		for _, a := range g.inter[i].leftSeeds {
 			if g.ls.Find(a.Loc) == rho {
 				reachInode(int32(i), true)
 				break
 			}
 		}
-		for _, a := range in.rightSeeds {
+		for _, a := range g.inter[i].rightSeeds {
 			if g.ls.Find(a.Loc) == rho {
 				reachInode(int32(i), false)
 				break
@@ -140,7 +140,7 @@ func (c *Checker) Sat(ni effects.NotIn) bool {
 		if effects.Var(v) == goal {
 			return false // unsatisfiable: ρ reaches ε
 		}
-		for _, t := range g.out[v] {
+		for _, t := range g.outEdges(v) {
 			switch t.kind {
 			case toVar:
 				pushVar(effects.Var(t.idx))
@@ -154,65 +154,60 @@ func (c *Checker) Sat(ni effects.NotIn) bool {
 	return true
 }
 
-// ReachableLocs returns the set of source locations that can reach v,
-// over-approximated by a reverse search that passes through
-// intersection nodes unconditionally. This is the backward search of
-// Section 6.2: because the region of the graph behind a confine's
-// effect variable is typically small, prefiltering with this set and
-// then confirming each candidate with Sat is faster in practice than
-// computing full forward reachability for every location.
-func (c *Checker) ReachableLocs(v effects.Var) map[locs.Loc]bool {
+// ReachableLocs returns the set of source locations (canonical) that
+// can reach v, over-approximated by a reverse search that passes
+// through intersection nodes unconditionally. This is the backward
+// search of Section 6.2: because the region of the graph behind a
+// confine's effect variable is typically small, prefiltering with
+// this set and then confirming each candidate with Sat is faster in
+// practice than computing full forward reachability for every
+// location.
+func (c *Checker) ReachableLocs(v effects.Var) *bitset.Set {
 	g := c.g
 	// Build the reverse adjacency lazily once.
-	if c.revVar == nil {
+	if c.revEdges == nil {
 		c.buildReverse()
 	}
-	seen := make([]bool, g.nvar)
-	iseen := make([]bool, len(g.inter))
-	out := make(map[locs.Loc]bool)
+	var seen, iseen, out bitset.Set
 	var stack []int32
-	seen[v] = true
+	seen.Add(int(v))
 	stack = append(stack, int32(v))
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, a := range g.seeds[n] {
-			out[g.ls.Find(a.Loc)] = true
+			out.Add(int(g.ls.Find(a.Loc)))
 		}
-		for _, p := range c.revVar[n] {
-			if !seen[p] {
-				seen[p] = true
+		for _, p := range c.revVarEdges(n) {
+			if seen.Add(int(p)) {
 				stack = append(stack, p)
 			}
 		}
 		for _, i := range c.revInode[n] {
-			if iseen[i] {
+			if !iseen.Add(int(i)) {
 				continue
 			}
-			iseen[i] = true
-			in := g.inter[i]
-			for _, a := range in.leftSeeds {
-				out[g.ls.Find(a.Loc)] = true
+			for _, a := range g.inter[i].leftSeeds {
+				out.Add(int(g.ls.Find(a.Loc)))
 			}
-			for _, a := range in.rightSeeds {
-				out[g.ls.Find(a.Loc)] = true
+			for _, a := range g.inter[i].rightSeeds {
+				out.Add(int(g.ls.Find(a.Loc)))
 			}
 			for _, p := range c.revIntoInode[i] {
-				if !seen[p] {
-					seen[p] = true
+				if seen.Add(int(p)) {
 					stack = append(stack, p)
 				}
 			}
 		}
 	}
-	return out
+	return &out
 }
 
 // SatBackward is Sat with the Section 6.2 prefilter: if the location
 // cannot even reach v in the unconditional reverse approximation, the
 // constraint is satisfiable without a forward search.
 func (c *Checker) SatBackward(ni effects.NotIn) bool {
-	if !c.ReachableLocs(ni.V)[c.g.ls.Find(ni.Loc)] {
+	if !c.ReachableLocs(ni.V).Has(int(c.g.ls.Find(ni.Loc))) {
 		return true
 	}
 	return c.Sat(ni)
@@ -220,31 +215,55 @@ func (c *Checker) SatBackward(ni effects.NotIn) bool {
 
 // reverse adjacency (built on demand):
 //
-//	revVar[v]       = variables with an edge into v
-//	revInode[v]     = inodes whose output feeds v
-//	revIntoInode[i] = variables feeding either side of inode i
+//	revStart/revEdges   CSR: variables with an edge into v
+//	revInode[v]       = inodes whose output feeds v
+//	revIntoInode[i]   = variables feeding either side of inode i
 type reverseAdj struct {
-	revVar       [][]int32
+	revStart     []int32
+	revEdges     []int32
 	revInode     [][]int32
 	revIntoInode [][]int32
 }
 
+func (c *Checker) revVarEdges(v int32) []int32 {
+	return c.revEdges[c.revStart[v]:c.revStart[v+1]]
+}
+
 func (c *Checker) buildReverse() {
 	g := c.g
-	c.revVar = make([][]int32, g.nvar)
+	// Reverse var→var edges in CSR form, by counting then filling.
+	degree := make([]int32, g.nvar+1)
+	for _, t := range g.edges {
+		if t.kind == toVar {
+			degree[t.idx]++
+		}
+	}
+	c.revStart = make([]int32, g.nvar+1)
+	var total int32
+	for v := 0; v < g.nvar; v++ {
+		c.revStart[v] = total
+		total += degree[v]
+	}
+	c.revStart[g.nvar] = total
+	c.revEdges = make([]int32, total)
+	next := make([]int32, g.nvar)
+	copy(next, c.revStart[:g.nvar])
+
 	c.revInode = make([][]int32, g.nvar)
 	c.revIntoInode = make([][]int32, len(g.inter))
-	for v := range g.out {
-		for _, t := range g.out[v] {
+	for v := int32(0); v < int32(g.nvar); v++ {
+		for _, t := range g.outEdges(v) {
 			switch t.kind {
 			case toVar:
-				c.revVar[t.idx] = append(c.revVar[t.idx], int32(v))
+				c.revEdges[next[t.idx]] = v
+				next[t.idx]++
 			case toLeft, toRight:
-				c.revIntoInode[t.idx] = append(c.revIntoInode[t.idx], int32(v))
+				c.revIntoInode[t.idx] = append(c.revIntoInode[t.idx], v)
 			}
 		}
 	}
-	for i, in := range g.inter {
-		c.revInode[in.Out] = append(c.revInode[in.Out], int32(i))
+	for i := range g.inter {
+		out := g.inter[i].Out
+		c.revInode[out] = append(c.revInode[out], int32(i))
 	}
 }

@@ -15,6 +15,14 @@
 //     run (unifying locations, adding inclusions or atoms), and
 //     propagation resumes until no conditional fires and no atom
 //     moves.
+//
+// Both algorithms run over dense integer indices: effect variables
+// and abstract locations are already dense int32s, atoms are interned
+// into dense IDs (effects.Interner), solution and gate sets are
+// bitsets over those IDs, and the propagation graph's out-edges are
+// stored in CSR (compressed-sparse-row) adjacency built once per
+// Solve/NewChecker. See docs/ALGORITHMS.md, "Dense solver
+// representation".
 package solve
 
 import (
@@ -40,19 +48,23 @@ const (
 )
 
 // graph is the shared constraint-graph skeleton built from a
-// normalized system.
+// normalized system. Out-edges are in CSR form: the edges of variable
+// v are edges[edgeStart[v]:edgeStart[v+1]], in the order the
+// normalized constraints produced them (per-variable edge order is
+// what keeps propagation — and hence conditional firing order —
+// deterministic).
 type graph struct {
 	sys   *effects.System
 	ls    *locs.Store
 	norms []effects.Norm
 
-	nvar int
-	// out[v] lists v's out-edges.
-	out [][]target
+	nvar      int
+	edgeStart []int32
+	edges     []target
 	// seeds[v] lists atoms directly included in v.
 	seeds [][]effects.Atom
 	// inter[i] is the i-th intersection node.
-	inter []*inode
+	inter []inode
 }
 
 // inode is an intersection node: atoms arriving on the left are
@@ -75,44 +87,77 @@ func newGraph(sys *effects.System) *graph {
 	}
 	// Normalize may create fresh variables, so size after.
 	g.nvar = sys.NumVars()
-	g.out = make([][]target, g.nvar)
 	g.seeds = make([][]effects.Atom, g.nvar)
+
+	// CSR in two passes: count each variable's out-degree, prefix-sum
+	// into edgeStart, then fill slots in norm order.
+	degree := make([]int32, g.nvar+1)
+	for _, n := range g.norms {
+		if !n.Inter {
+			if !n.Left.IsAtom {
+				degree[n.Left.V]++
+			}
+			continue
+		}
+		if !n.Left.IsAtom {
+			degree[n.Left.V]++
+		}
+		if !n.Right.IsAtom {
+			degree[n.Right.V]++
+		}
+	}
+	g.edgeStart = make([]int32, g.nvar+1)
+	var total int32
+	for v := 0; v < g.nvar; v++ {
+		g.edgeStart[v] = total
+		total += degree[v]
+	}
+	g.edgeStart[g.nvar] = total
+	g.edges = make([]target, total)
+
+	next := make([]int32, g.nvar)
+	copy(next, g.edgeStart[:g.nvar])
+	addEdge := func(from effects.Var, t target) {
+		g.edges[next[from]] = t
+		next[from]++
+	}
 	for _, n := range g.norms {
 		if !n.Inter {
 			if n.Left.IsAtom {
 				g.seeds[n.V] = append(g.seeds[n.V], n.Left.A)
 			} else {
-				g.addEdge(n.Left.V, target{kind: toVar, idx: int32(n.V)})
+				addEdge(n.Left.V, target{kind: toVar, idx: int32(n.V)})
 			}
 			continue
 		}
 		i := int32(len(g.inter))
-		in := &inode{Out: n.V}
-		g.inter = append(g.inter, in)
+		g.inter = append(g.inter, inode{Out: n.V})
+		in := &g.inter[i]
 		if n.Left.IsAtom {
 			in.leftSeeds = append(in.leftSeeds, n.Left.A)
 		} else {
-			g.addEdge(n.Left.V, target{kind: toLeft, idx: i})
+			addEdge(n.Left.V, target{kind: toLeft, idx: i})
 		}
 		if n.Right.IsAtom {
 			in.rightSeeds = append(in.rightSeeds, n.Right.A)
 		} else {
-			g.addEdge(n.Right.V, target{kind: toRight, idx: i})
+			addEdge(n.Right.V, target{kind: toRight, idx: i})
 		}
 	}
 	return g
 }
 
-func (g *graph) addEdge(from effects.Var, t target) {
-	g.out[from] = append(g.out[from], t)
+// outEdges returns v's static out-edges (CSR row). Edges added by
+// conditional constraints at solve time live in the solver's overlay,
+// not here: the skeleton is immutable once built, so a Checker and a
+// solver can share it.
+func (g *graph) outEdges(v int32) []target {
+	return g.edges[g.edgeStart[v]:g.edgeStart[v+1]]
 }
 
 // Size returns a node+edge count used by complexity benchmarks.
 func (g *graph) Size() int {
-	n := g.nvar + len(g.inter)
-	for _, es := range g.out {
-		n += len(es)
-	}
+	n := g.nvar + len(g.inter) + len(g.edges)
 	for _, v := range g.seeds {
 		n += len(v)
 	}

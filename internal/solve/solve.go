@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"sort"
 
+	"localalias/internal/bitset"
 	"localalias/internal/effects"
 	"localalias/internal/locs"
 )
 
 // Result is the least solution of a constraint system, together with
 // the conditional constraints that fired while computing it.
+//
+// Solution sets are stored as bitsets over interned atom IDs; the
+// accessor methods translate back to effects.Atom values, always
+// under canonical (post-unification) locations.
 type Result struct {
 	sys  *effects.System
 	ls   *locs.Store
-	sets []map[effects.Atom]bool
+	in   *effects.Interner
+	sets []bitset.Set
 
 	// Fired lists the conditional constraints whose triggers became
 	// true, in firing order. Inference interprets these: a fired
@@ -22,20 +28,26 @@ type Result struct {
 	Fired []*effects.Cond
 
 	// AtomsPropagated counts insert operations (for benchmarks).
+	// Equal to Stats.AtomsPropagated; retained as a field because
+	// long-standing benchmarks read it directly.
 	AtomsPropagated int
+
+	// Stats counts the work performed while solving.
+	Stats Stats
 }
 
 // Atoms returns the canonical atoms of v's solution, sorted.
 func (r *Result) Atoms(v effects.Var) []effects.Atom {
 	var out []effects.Atom
 	seen := make(map[effects.Atom]bool)
-	for a := range r.sets[v] {
+	r.sets[v].ForEach(func(i int) {
+		a := r.in.Atom(effects.ID(i))
 		ca := effects.Atom{Kind: a.Kind, Loc: r.ls.Find(a.Loc)}
 		if !seen[ca] {
 			seen[ca] = true
 			out = append(out, ca)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Loc != out[j].Loc {
 			return out[i].Loc < out[j].Loc
@@ -45,27 +57,42 @@ func (r *Result) Atoms(v effects.Var) []effects.Atom {
 	return out
 }
 
+// EachAtom calls f for every atom of v's solution with its location
+// canonicalized, without allocating. If locations were unified after
+// the solve, f may observe the same canonical atom more than once
+// (Atoms dedupes; this does not) — callers doing idempotent work per
+// atom, like the qualifier analysis's havoc, don't care.
+func (r *Result) EachAtom(v effects.Var, f func(effects.Atom)) {
+	r.sets[v].ForEach(func(i int) {
+		a := r.in.Atom(effects.ID(i))
+		f(effects.Atom{Kind: a.Kind, Loc: r.ls.Find(a.Loc)})
+	})
+}
+
 // ContainsLoc reports whether v's solution has any atom over loc.
 func (r *Result) ContainsLoc(v effects.Var, loc locs.Loc) bool {
 	rho := r.ls.Find(loc)
-	for a := range r.sets[v] {
-		if r.ls.Find(a.Loc) == rho {
-			return true
+	found := false
+	r.sets[v].ForEach(func(i int) {
+		if !found && r.ls.Find(r.in.Atom(effects.ID(i)).Loc) == rho {
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
 // ContainsAtom reports whether v's solution has the atom (canonical
 // location comparison).
 func (r *Result) ContainsAtom(v effects.Var, a effects.Atom) bool {
 	rho := r.ls.Find(a.Loc)
-	for b := range r.sets[v] {
-		if b.Kind == a.Kind && r.ls.Find(b.Loc) == rho {
-			return true
+	found := false
+	r.sets[v].ForEach(func(i int) {
+		b := r.in.Atom(effects.ID(i))
+		if !found && b.Kind == a.Kind && r.ls.Find(b.Loc) == rho {
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
 // Violations evaluates every check of the system — disinclusions,
@@ -82,78 +109,120 @@ func (r *Result) Violations() []Violation {
 		}
 	}
 	for _, kn := range r.sys.KindNotIns {
-		for a := range r.sets[kn.V] {
-			if a.Kind == kn.Kind {
-				out = append(out, Violation{
-					Site:   kn.Site,
-					What:   kn.What,
-					Detail: fmt.Sprintf("%s(%s) is in %s", a.Kind, r.ls.Name(a.Loc), r.sys.VarName(kn.V)),
-				})
-				break
-			}
+		if a, ok := r.firstOfKind(kn.V, kn.Kind); ok {
+			out = append(out, Violation{
+				Site:   kn.Site,
+				What:   kn.What,
+				Detail: fmt.Sprintf("%s(%s) is in %s", a.Kind, r.ls.Name(a.Loc), r.sys.VarName(kn.V)),
+			})
 		}
 	}
 	for _, pn := range r.sys.PairNotIns {
-		for a := range r.sets[pn.VA] {
-			if a.Kind != pn.KindA {
-				continue
+		hit := false
+		var witness effects.Atom
+		r.sets[pn.VA].ForEach(func(i int) {
+			if hit {
+				return
 			}
-			if r.hasKindLocResult(pn.VB, pn.KindB, a.Loc) {
-				out = append(out, Violation{
-					Site: pn.Site,
-					What: pn.What,
-					Detail: fmt.Sprintf("%s(%s) in %s and %s of it in %s",
-						pn.KindA, r.ls.Name(a.Loc), r.sys.VarName(pn.VA),
-						pn.KindB, r.sys.VarName(pn.VB)),
-				})
-				break
+			a := r.in.Atom(effects.ID(i))
+			if a.Kind == pn.KindA && r.hasKindLocResult(pn.VB, pn.KindB, a.Loc) {
+				hit = true
+				witness = a
 			}
+		})
+		if hit {
+			out = append(out, Violation{
+				Site: pn.Site,
+				What: pn.What,
+				Detail: fmt.Sprintf("%s(%s) in %s and %s of it in %s",
+					pn.KindA, r.ls.Name(witness.Loc), r.sys.VarName(pn.VA),
+					pn.KindB, r.sys.VarName(pn.VB)),
+			})
 		}
 	}
 	return out
 }
 
+// firstOfKind returns the lowest-ID atom of kind k in v's solution.
+func (r *Result) firstOfKind(v effects.Var, k effects.Kind) (effects.Atom, bool) {
+	var got effects.Atom
+	found := false
+	r.sets[v].ForEach(func(i int) {
+		if found {
+			return
+		}
+		if a := r.in.Atom(effects.ID(i)); a.Kind == k {
+			got, found = a, true
+		}
+	})
+	return got, found
+}
+
 func (r *Result) hasKindLocResult(v effects.Var, k effects.Kind, loc locs.Loc) bool {
 	rho := r.ls.Find(loc)
-	for a := range r.sets[v] {
-		if a.Kind == k && r.ls.Find(a.Loc) == rho {
-			return true
+	found := false
+	r.sets[v].ForEach(func(i int) {
+		a := r.in.Atom(effects.ID(i))
+		if !found && a.Kind == k && r.ls.Find(a.Loc) == rho {
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
 // ---------------------------------------------------------------------
 // Solver
+//
+// The solver works entirely over dense indices: variables and
+// intersection nodes are int32s from the graph, atoms are interned
+// IDs, solution/gate sets are bitsets, and static out-edges come from
+// the graph's CSR rows. Only two structures can grow mid-solve: the
+// interner (a unification creates the canonical successor of a stale
+// atom) and the `extra` edge overlay (an ActIncl adds an inclusion).
 
 type solver struct {
 	g   *graph
 	ls  *locs.Store
 	res *Result
+	in  *effects.Interner
 
-	// Dynamic graph state (conditionals add edges and atoms).
-	out   [][]target
-	sets  []map[effects.Atom]bool
-	left  []map[effects.Atom]bool
-	right []map[locs.Loc]bool
+	// extra overlays conditional-added out-edges on the immutable CSR
+	// skeleton; nil until the first ActIncl fires.
+	extra [][]target
+
+	sets  []bitset.Set // per variable: atom IDs
+	left  []bitset.Set // per inode: atom IDs buffered on the left
+	right []bitset.Set // per inode: canonical locations seen on the right
 
 	// queue of pending insertions.
 	queue []qitem
 
-	// pending holds conds not yet fired; condList preserves creation
-	// order for deterministic rechecks; watch indexes conds by the
-	// effect variable(s) their trigger observes, so an atom arrival
-	// only examines the conds that could care.
-	pending  map[*effects.Cond]bool
-	condList []*effects.Cond
-	watch    map[effects.Var][]*effects.Cond
+	// pending[ci] is whether cond ci is still unfired; watch[v] lists
+	// the conds whose trigger observes v, so an atom arrival only
+	// examines the conds that could care. Rechecks walk conds in
+	// creation order for deterministic firing.
+	conds   []*effects.Cond
+	pending []bool
+	watch   [][]int32
 
 	unified bool // set by the locs OnUnify callback
+
+	// idsByLoc[rho] lists the IDs interned under location rho (the
+	// location was canonical at intern time). When rho later loses a
+	// unification, exactly those IDs go stale — so re-canonicalization
+	// processes the affected IDs instead of rescanning the table.
+	idsByLoc [][]effects.ID
+	// losers accumulates the absorbed representatives since the last
+	// re-canonicalization, recorded by the OnUnify callback.
+	losers []locs.Loc
+
+	scratch  []int32      // reusable bitset snapshot buffer
+	staleBuf []effects.ID // reusable stale-ID buffer
 }
 
 type qitem struct {
-	v effects.Var
-	a effects.Atom
+	v  effects.Var
+	id effects.ID
 }
 
 // Solve computes the least solution of sys, firing conditional
@@ -164,45 +233,73 @@ type qitem struct {
 func Solve(sys *effects.System) *Result {
 	g := newGraph(sys)
 	s := &solver{
-		g:   g,
-		ls:  sys.Locs,
-		out: g.out,
+		g:  g,
+		ls: sys.Locs,
+		in: effects.NewInternerSized(sys.Locs.Len()),
 	}
-	s.res = &Result{sys: sys, ls: sys.Locs}
-	s.sets = make([]map[effects.Atom]bool, g.nvar)
-	for i := range s.sets {
-		s.sets[i] = make(map[effects.Atom]bool)
+	s.res = &Result{sys: sys, ls: sys.Locs, in: s.in}
+	s.idsByLoc = make([][]effects.ID, sys.Locs.Len())
+
+	// Pre-intern every seed atom so the ID space is known before the
+	// solution bitsets are carved; the seeding loop below then hits
+	// the interner map without growing it.
+	for v := range g.seeds {
+		for _, a := range g.seeds[v] {
+			s.internCanon(a)
+		}
 	}
-	s.left = make([]map[effects.Atom]bool, len(g.inter))
-	s.right = make([]map[locs.Loc]bool, len(g.inter))
 	for i := range g.inter {
-		s.left[i] = make(map[effects.Atom]bool)
-		s.right[i] = make(map[locs.Loc]bool)
+		for _, a := range g.inter[i].leftSeeds {
+			s.internCanon(a)
+		}
+		for _, a := range g.inter[i].rightSeeds {
+			s.internCanon(a)
+		}
 	}
-	s.pending = make(map[*effects.Cond]bool, len(sys.Conds))
-	s.condList = sys.Conds
-	s.watch = make(map[effects.Var][]*effects.Cond)
-	for _, c := range sys.Conds {
-		s.pending[c] = true
+	// Conditionals and unifications intern more IDs later (canonical
+	// successors of merged atoms); leave slack so those don't force
+	// every set to regrow. Very large var×ID products fall back to
+	// organic per-set growth rather than a quadratic arena. Right
+	// sets are indexed by location, where members are few but the
+	// index space is the whole store — organic growth fits them
+	// better than an arena row per inode.
+	idWords := s.in.Len()/48 + 4
+	if g.nvar*idWords <= 1<<22 {
+		s.sets = bitset.Arena(g.nvar, idWords)
+	} else {
+		s.sets = make([]bitset.Set, g.nvar)
+	}
+	s.left = bitset.Arena(len(g.inter), idWords)
+	s.right = make([]bitset.Set, len(g.inter))
+
+	s.conds = sys.Conds
+	s.pending = make([]bool, len(sys.Conds))
+	s.watch = make([][]int32, g.nvar)
+	for ci, c := range sys.Conds {
+		s.pending[ci] = true
 		for _, v := range triggerVars(c.Trigger) {
-			s.watch[v] = append(s.watch[v], c)
+			s.watch[v] = append(s.watch[v], int32(ci))
 		}
 	}
 
-	sys.Locs.OnUnify(func(winner, loser locs.Loc) { s.unified = true })
+	sys.Locs.OnUnify(func(winner, loser locs.Loc) {
+		s.unified = true
+		s.res.Stats.Unifications++
+		s.losers = append(s.losers, loser)
+	})
 
 	// Seed the graph.
 	for v := range g.seeds {
 		for _, a := range g.seeds[v] {
-			s.insert(effects.Var(v), a)
+			s.insert(effects.Var(v), s.internCanon(a))
 		}
 	}
-	for i, in := range g.inter {
-		for _, a := range in.leftSeeds {
-			s.arriveLeft(int32(i), a)
+	for i := range g.inter {
+		for _, a := range g.inter[i].leftSeeds {
+			s.arriveLeft(int32(i), s.internCanon(a))
 		}
-		for _, a := range in.rightSeeds {
-			s.arriveRight(int32(i), a)
+		for _, a := range g.inter[i].rightSeeds {
+			s.arriveRight(int32(i), s.internCanon(a))
 		}
 	}
 
@@ -223,6 +320,9 @@ func Solve(sys *effects.System) *Result {
 	}
 
 	s.res.sets = s.sets
+	s.res.Stats.Vars = g.nvar
+	s.res.Stats.Atoms = s.in.Len()
+	s.res.AtomsPropagated = s.res.Stats.AtomsPropagated
 	return s.res
 }
 
@@ -230,103 +330,177 @@ func (s *solver) drain() {
 	for len(s.queue) > 0 {
 		it := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
-		s.propagate(it.v, it.a)
+		s.propagate(it.v, it.id)
 	}
 }
 
-// insert adds atom a (canonicalized) to v, queueing propagation.
-func (s *solver) insert(v effects.Var, a effects.Atom) {
+// internCanon interns a under its canonical location.
+func (s *solver) internCanon(a effects.Atom) effects.ID {
 	a.Loc = s.ls.Find(a.Loc)
-	if s.sets[v][a] {
-		return
-	}
-	s.sets[v][a] = true
-	s.res.AtomsPropagated++
-	s.queue = append(s.queue, qitem{v: v, a: a})
+	return s.intern(a)
 }
 
-// propagate pushes a (already recorded in v) along v's out-edges and
-// checks triggers watching v.
-func (s *solver) propagate(v effects.Var, a effects.Atom) {
-	for _, t := range s.out[v] {
-		switch t.kind {
-		case toVar:
-			s.insert(effects.Var(t.idx), a)
-		case toLeft:
-			s.arriveLeft(t.idx, a)
-		case toRight:
-			s.arriveRight(t.idx, a)
+// intern assigns a's dense ID; a.Loc must already be canonical. Newly
+// interned IDs are indexed by location so a later unification can
+// find the stale IDs without scanning the table.
+func (s *solver) intern(a effects.Atom) effects.ID {
+	n := s.in.Len()
+	id := s.in.Intern(a)
+	if int(id) == n {
+		for int(a.Loc) >= len(s.idsByLoc) {
+			s.idsByLoc = append(s.idsByLoc, nil)
+		}
+		s.idsByLoc[a.Loc] = append(s.idsByLoc[a.Loc], id)
+	}
+	return id
+}
+
+// canonID re-resolves id after possible unifications. In the common
+// case (no unification since the atom was interned) this is a single
+// union-find read; otherwise the canonical successor is interned.
+func (s *solver) canonID(id effects.ID) effects.ID {
+	a := s.in.Atom(id)
+	if c := s.ls.Find(a.Loc); c != a.Loc {
+		return s.intern(effects.Atom{Kind: a.Kind, Loc: c})
+	}
+	return id
+}
+
+// insert adds the atom (canonicalized) to v, queueing propagation.
+func (s *solver) insert(v effects.Var, id effects.ID) {
+	id = s.canonID(id)
+	if s.sets[v].Add(int(id)) {
+		s.res.Stats.AtomsPropagated++
+		s.queue = append(s.queue, qitem{v: v, id: id})
+	}
+}
+
+// propagate pushes the atom (already recorded in v) along v's
+// out-edges and checks triggers watching v.
+func (s *solver) propagate(v effects.Var, id effects.ID) {
+	for _, t := range s.g.outEdges(int32(v)) {
+		s.follow(t, id)
+	}
+	if s.extra != nil {
+		for _, t := range s.extra[v] {
+			s.follow(t, id)
 		}
 	}
-	s.checkTriggersFor(v, a)
+	s.checkTriggersFor(v, id)
 }
 
-func (s *solver) arriveLeft(i int32, a effects.Atom) {
-	a.Loc = s.ls.Find(a.Loc)
-	if s.left[i][a] {
-		return
-	}
-	s.left[i][a] = true
-	if s.right[i][a.Loc] {
-		s.insert(s.g.inter[i].Out, a)
+func (s *solver) follow(t target, id effects.ID) {
+	switch t.kind {
+	case toVar:
+		s.insert(effects.Var(t.idx), id)
+	case toLeft:
+		s.arriveLeft(t.idx, id)
+	case toRight:
+		s.arriveRight(t.idx, id)
 	}
 }
 
-func (s *solver) arriveRight(i int32, a effects.Atom) {
-	rho := s.ls.Find(a.Loc)
-	if s.right[i][rho] {
+func (s *solver) arriveLeft(i int32, id effects.ID) {
+	id = s.canonID(id)
+	if !s.left[i].Add(int(id)) {
 		return
 	}
-	s.right[i][rho] = true
-	for b := range s.left[i] {
-		if s.ls.Find(b.Loc) == rho {
-			s.insert(s.g.inter[i].Out, b)
+	s.res.Stats.IntersectionArrivals++
+	if s.right[i].Has(int(s.in.Atom(id).Loc)) {
+		s.insert(s.g.inter[i].Out, id)
+	}
+}
+
+func (s *solver) arriveRight(i int32, id effects.ID) {
+	rho := s.ls.Find(s.in.Atom(id).Loc)
+	if !s.right[i].Add(int(rho)) {
+		return
+	}
+	s.res.Stats.IntersectionArrivals++
+	out := s.g.inter[i].Out
+	s.left[i].ForEach(func(b int) {
+		bid := effects.ID(b)
+		if s.ls.Find(s.in.Atom(bid).Loc) == rho {
+			s.insert(out, bid)
 		}
-	}
+	})
 }
 
-// recanonicalize rewrites every stored atom to its current
-// representative, re-flooding anything whose identity changed and
-// re-examining intersection gates. A full pass costs O(total atoms);
-// it runs once per unification, matching the paper's O(n) "extra work
-// to recompute reachability for the unified locations".
+// recanonicalize restores the solver's invariants after location
+// unifications. Variable sets need no rewriting at all: every read
+// path — insert's canonID, trigger predicates, gate comparisons, and
+// the Result accessors — resolves an atom's location through Find, so
+// a member whose class was absorbed simply denotes its canonical
+// successor and any future arrival of that successor dedupes against
+// it through canonID. The only structures that compare by stored
+// value are the intersection nodes, whose right sets hold canonical
+// location indices and whose gates probe them with Has. So the pass
+// is incremental and inode-local: the OnUnify callback records each
+// absorbed representative, idsByLoc maps it to exactly the atom IDs
+// that went stale, and only gates holding a stale atom or location
+// are re-examined. An untouched gate's members all kept their
+// representatives, so it was already fully evaluated by the arrival
+// rules and cannot newly unlock. This bounds the pass by
+// O(inodes · stale) bit probes — the paper's O(n) "extra work to
+// recompute reachability for the unified locations" per unification.
 func (s *solver) recanonicalize() {
-	for v := range s.sets {
-		for a := range s.sets[v] {
-			if c := s.ls.Find(a.Loc); c != a.Loc {
-				delete(s.sets[v], a)
-				a2 := effects.Atom{Kind: a.Kind, Loc: c}
-				if !s.sets[v][a2] {
-					s.sets[v][a2] = true
-					// Re-propagate under the new identity: dedupe
-					// downstream uses canonical atoms, so merged
-					// atoms must flow again.
-					s.queue = append(s.queue, qitem{v: effects.Var(v), a: a2})
-				}
-			}
-		}
+	s.res.Stats.Recanonicalizations++
+	if len(s.losers) == 0 {
+		return
 	}
+	losers := s.losers
+	s.losers = s.losers[:0] // nothing below unifies; safe to reset now
+
+	// Collect the IDs that went stale and re-register them under their
+	// new class, so a later merge of the winner still finds them.
+	stale := s.staleBuf[:0]
+	for _, l := range losers {
+		if int(l) >= len(s.idsByLoc) {
+			continue
+		}
+		stale = append(stale, s.idsByLoc[l]...)
+		s.idsByLoc[l] = nil // l is never a representative again
+	}
+	for _, id := range stale {
+		c := s.ls.Find(s.in.Atom(id).Loc)
+		for int(c) >= len(s.idsByLoc) {
+			s.idsByLoc = append(s.idsByLoc, nil)
+		}
+		s.idsByLoc[c] = append(s.idsByLoc[c], id)
+	}
+
 	for i := range s.left {
-		for a := range s.left[i] {
-			if c := s.ls.Find(a.Loc); c != a.Loc {
-				delete(s.left[i], a)
-				s.left[i][effects.Atom{Kind: a.Kind, Loc: c}] = true
+		// Gate state compares by stored value: right sets hold
+		// canonical location indices, so absorbed ones must be
+		// remapped; left atoms stay as-is (the re-exam below and the
+		// arrival rules both resolve them through Find).
+		touched := false
+		for _, id := range stale {
+			if s.left[i].Has(int(id)) {
+				touched = true
+				break
 			}
 		}
-		for rho := range s.right[i] {
-			if c := s.ls.Find(rho); c != rho {
-				delete(s.right[i], rho)
-				s.right[i][c] = true
+		for _, l := range losers {
+			if s.right[i].Has(int(l)) {
+				s.right[i].Remove(int(l))
+				s.right[i].Add(int(s.ls.Find(l)))
+				touched = true
 			}
 		}
-		// A merge can newly unlock buffered left atoms: re-examine
-		// the gate unconditionally.
-		for a := range s.left[i] {
-			if s.right[i][s.ls.Find(a.Loc)] {
-				s.insert(s.g.inter[i].Out, a)
+		if !touched {
+			continue
+		}
+		// The merge may newly unlock buffered left atoms of this gate.
+		out := s.g.inter[i].Out
+		s.scratch = s.left[i].AppendMembers(s.scratch[:0])
+		for _, id := range s.scratch {
+			if s.right[i].Has(int(s.ls.Find(s.in.Atom(effects.ID(id)).Loc))) {
+				s.insert(out, effects.ID(id))
 			}
 		}
 	}
+	s.staleBuf = stale[:0]
 }
 
 // ---------------------------------------------------------------------
@@ -352,15 +526,19 @@ func triggerVars(t effects.Trigger) []effects.Var {
 }
 
 // checkTriggersFor tests unfired conditionals that could be enabled
-// by atom a arriving in v.
-func (s *solver) checkTriggersFor(v effects.Var, a effects.Atom) {
+// by the atom arriving in v.
+func (s *solver) checkTriggersFor(v effects.Var, id effects.ID) {
 	ws := s.watch[v]
-	for _, c := range ws {
-		if !s.pending[c] {
+	if len(ws) == 0 {
+		return
+	}
+	a := s.in.Atom(id)
+	for _, ci := range ws {
+		if !s.pending[ci] {
 			continue
 		}
-		if s.triggerMatches(c.Trigger, v, a) {
-			s.fire(c)
+		if s.triggerMatches(s.conds[ci].Trigger, v, a) {
+			s.fire(int(ci))
 		}
 	}
 }
@@ -370,12 +548,12 @@ func (s *solver) checkTriggersFor(v effects.Var, a effects.Atom) {
 // without any new atom arriving). Creation order keeps firing — and
 // hence diagnostics — deterministic.
 func (s *solver) recheckConds() {
-	for _, c := range s.condList {
-		if !s.pending[c] {
+	for ci := range s.conds {
+		if !s.pending[ci] {
 			continue
 		}
-		if s.triggerHolds(c.Trigger) {
-			s.fire(c)
+		if s.triggerHolds(s.conds[ci].Trigger) {
+			s.fire(ci)
 		}
 	}
 }
@@ -406,59 +584,68 @@ func (s *solver) triggerHolds(t effects.Trigger) bool {
 	switch t := t.(type) {
 	case effects.LocIn:
 		rho := s.ls.Find(t.Loc)
-		for a := range s.sets[t.V] {
-			if s.ls.Find(a.Loc) == rho {
-				return true
-			}
-		}
+		return s.anyAtom(t.V, func(a effects.Atom) bool {
+			return s.ls.Find(a.Loc) == rho
+		})
 	case effects.AtomIn:
 		rho := s.ls.Find(t.Loc)
-		for a := range s.sets[t.V] {
-			if a.Kind == t.Kind && s.ls.Find(a.Loc) == rho {
-				return true
-			}
-		}
+		return s.anyAtom(t.V, func(a effects.Atom) bool {
+			return a.Kind == t.Kind && s.ls.Find(a.Loc) == rho
+		})
 	case effects.KindIn:
-		for a := range s.sets[t.V] {
-			if a.Kind == t.Kind {
-				return true
-			}
-		}
+		return s.anyAtom(t.V, func(a effects.Atom) bool {
+			return a.Kind == t.Kind
+		})
 	case effects.PairIn:
-		for a := range s.sets[t.VA] {
-			if a.Kind == t.KindA && s.hasKindLoc(t.VB, t.KindB, a.Loc) {
-				return true
-			}
-		}
+		return s.anyAtom(t.VA, func(a effects.Atom) bool {
+			return a.Kind == t.KindA && s.hasKindLoc(t.VB, t.KindB, a.Loc)
+		})
 	}
 	return false
+}
+
+// anyAtom reports whether some atom of v's current solution satisfies
+// pred.
+func (s *solver) anyAtom(v effects.Var, pred func(effects.Atom) bool) bool {
+	found := false
+	s.sets[v].ForEach(func(i int) {
+		if !found && pred(s.in.Atom(effects.ID(i))) {
+			found = true
+		}
+	})
+	return found
 }
 
 func (s *solver) hasKindLoc(v effects.Var, k effects.Kind, loc locs.Loc) bool {
 	rho := s.ls.Find(loc)
-	for a := range s.sets[v] {
-		if a.Kind == k && s.ls.Find(a.Loc) == rho {
-			return true
-		}
-	}
-	return false
+	return s.anyAtom(v, func(a effects.Atom) bool {
+		return a.Kind == k && s.ls.Find(a.Loc) == rho
+	})
 }
 
-// fire runs the actions of c and marks it fired.
-func (s *solver) fire(c *effects.Cond) {
-	delete(s.pending, c)
+// fire runs the actions of cond ci and marks it fired.
+func (s *solver) fire(ci int) {
+	c := s.conds[ci]
+	s.pending[ci] = false
+	s.res.Stats.CondFirings++
 	s.res.Fired = append(s.res.Fired, c)
 	for _, act := range c.Actions {
 		switch act := act.(type) {
 		case effects.ActUnify:
 			s.ls.Unify(act.A, act.B)
 		case effects.ActIncl:
-			s.out[act.From] = append(s.out[act.From], target{kind: toVar, idx: int32(act.To)})
-			for a := range s.sets[act.From] {
-				s.insert(act.To, a)
+			if s.extra == nil {
+				s.extra = make([][]target, s.g.nvar)
+			}
+			s.extra[act.From] = append(s.extra[act.From], target{kind: toVar, idx: int32(act.To)})
+			// Snapshot: insert may grow the very set being copied if
+			// From is (transitively) reachable from To.
+			s.scratch = s.sets[act.From].AppendMembers(s.scratch[:0])
+			for _, id := range s.scratch {
+				s.insert(act.To, effects.ID(id))
 			}
 		case effects.ActAddAtom:
-			s.insert(act.V, act.A)
+			s.insert(act.V, s.internCanon(act.A))
 		}
 	}
 }

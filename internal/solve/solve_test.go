@@ -385,11 +385,11 @@ func TestSolveBackwardPrefilter(t *testing.T) {
 	island := s.Fresh("island")
 	c := NewChecker(s)
 	reach := c.ReachableLocs(vars[4])
-	if !reach[ls.Find(rho)] {
+	if !reach.Has(int(ls.Find(rho))) {
 		t.Error("backward search must find rho behind the chain")
 	}
-	if got := c.ReachableLocs(island); len(got) != 0 {
-		t.Errorf("island has no sources, got %v", got)
+	if got := c.ReachableLocs(island); !got.Empty() {
+		t.Errorf("island has no sources, got %d locs", got.Len())
 	}
 	if !c.SatBackward(effects.NotIn{Loc: rho, V: island}) {
 		t.Error("SatBackward must succeed via prefilter")

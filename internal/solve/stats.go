@@ -1,0 +1,57 @@
+package solve
+
+import "fmt"
+
+// Stats counts the work a Solve performed. The counters are
+// deterministic for a given system: atom IDs are assigned in
+// first-intern order, propagation order follows the CSR edge layout,
+// and conditionals fire in creation order on rechecks — so two runs
+// over the same module produce identical numbers. Benchmarks and the
+// experiments driver report them so speedups (or regressions) in the
+// solver are observable rather than asserted.
+type Stats struct {
+	// Vars is the number of effect variables in the solved system
+	// (after normalization introduced fresh ones).
+	Vars int
+	// Atoms is the number of distinct atoms interned (kind × location
+	// class, counting pre- and post-unification identities).
+	Atoms int
+	// AtomsPropagated counts successful set insertions (an atom newly
+	// entering a variable's solution).
+	AtomsPropagated int
+	// IntersectionArrivals counts atoms newly arriving on either side
+	// of an intersection node.
+	IntersectionArrivals int
+	// CondFirings counts conditional constraints whose trigger became
+	// true.
+	CondFirings int
+	// Unifications counts location unifications observed while
+	// solving (fired ActUnify actions that actually merged classes,
+	// plus any unifications performed by other store clients during
+	// the run).
+	Unifications int
+	// Recanonicalizations counts incremental re-canonicalization
+	// passes (one per quiescent point with pending unifications; each
+	// pass touches only the gates holding a stale atom or a merged
+	// right-set location).
+	Recanonicalizations int
+}
+
+// Add accumulates other into s (for aggregating per-solve stats over
+// a pipeline or a corpus).
+func (s *Stats) Add(other Stats) {
+	s.Vars += other.Vars
+	s.Atoms += other.Atoms
+	s.AtomsPropagated += other.AtomsPropagated
+	s.IntersectionArrivals += other.IntersectionArrivals
+	s.CondFirings += other.CondFirings
+	s.Unifications += other.Unifications
+	s.Recanonicalizations += other.Recanonicalizations
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"vars=%d atoms=%d propagated=%d inter-arrivals=%d cond-firings=%d unifications=%d recanons=%d",
+		s.Vars, s.Atoms, s.AtomsPropagated, s.IntersectionArrivals,
+		s.CondFirings, s.Unifications, s.Recanonicalizations)
+}
