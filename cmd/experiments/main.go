@@ -8,9 +8,22 @@
 //	experiments -fig7         # Figure 7 only
 //	experiments -timing       # E4 only
 //	experiments -dump DIR     # write the generated corpus sources to DIR
+//
+// Fault-containment flags:
+//
+//	-module-timeout D    per-module analysis deadline (default 2m, 0 = none)
+//	-failures-json FILE  write the degraded-run failure report as JSON
+//	                     (- for stdout)
+//
+// A run where some module panics or exceeds its deadline still
+// completes the rest of the corpus; the numbers then cover only the
+// surviving modules, a degraded-run summary goes to stderr, and the
+// process exits 3. Mismatches between measured and expected triples
+// exit 1. Degradation takes precedence over mismatches.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,26 +32,41 @@ import (
 
 	"localalias/internal/drivergen"
 	"localalias/internal/experiments"
+	"localalias/internal/faults"
 )
+
+// Exit codes: 0 clean, 1 corpus mismatches, 2 usage/IO errors,
+// 3 degraded run (some module failed or timed out).
+const (
+	exitMismatch = 1
+	exitError    = 2
+	exitDegraded = 3
+)
+
+// failureReportSlowest is how many of the slowest surviving modules
+// the failure report lists with per-phase timings.
+const failureReportSlowest = 10
 
 func main() {
 	var (
-		summary = flag.Bool("summary", false, "print only the Section 7 summary (E1)")
-		fig6    = flag.Bool("fig6", false, "print only Figure 6 (E2)")
-		fig7    = flag.Bool("fig7", false, "print only Figure 7 (E3)")
-		timing  = flag.Bool("timing", false, "print only the timing comparison (E4)")
-		rounds  = flag.Int("rounds", 5, "timing rounds for -timing")
-		dump      = flag.String("dump", "", "write generated corpus sources to this directory and exit")
-		csvPath   = flag.String("csv", "", "also write per-module results as CSV to this file")
-		benchJSON = flag.String("bench-json", "", "run the solver benchmarks, write ns/op as JSON to this file (- for stdout), and exit")
-		quiet     = flag.Bool("q", false, "suppress progress output")
+		summary       = flag.Bool("summary", false, "print only the Section 7 summary (E1)")
+		fig6          = flag.Bool("fig6", false, "print only Figure 6 (E2)")
+		fig7          = flag.Bool("fig7", false, "print only Figure 7 (E3)")
+		timing        = flag.Bool("timing", false, "print only the timing comparison (E4)")
+		rounds        = flag.Int("rounds", 5, "timing rounds for -timing")
+		dump          = flag.String("dump", "", "write generated corpus sources to this directory and exit")
+		csvPath       = flag.String("csv", "", "also write per-module results as CSV to this file")
+		benchJSON     = flag.String("bench-json", "", "run the solver benchmarks, write ns/op as JSON to this file (- for stdout), and exit")
+		quiet         = flag.Bool("q", false, "suppress progress output")
+		moduleTimeout = flag.Duration("module-timeout", 2*time.Minute, "per-module analysis deadline (0 disables it)")
+		failuresJSON  = flag.String("failures-json", "", "write the failure report as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
 	if *dump != "" {
 		if err := dumpCorpus(*dump); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		}
 		return
 	}
@@ -50,14 +78,14 @@ func main() {
 		data, err := experiments.RunBenchJSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		}
 		data = append(data, '\n')
 		if *benchJSON == "-" {
 			os.Stdout.Write(data)
 		} else if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
 		}
@@ -68,13 +96,19 @@ func main() {
 
 	var res *experiments.CorpusResult
 	if all || *summary || *fig6 || *fig7 {
+		specs, err := loadCorpus()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
 		var progress *os.File
 		if !*quiet {
 			progress = os.Stderr
-			fmt.Fprintf(progress, "analyzing %d driver modules in three modes...\n", drivergen.NumModules)
+			fmt.Fprintf(progress, "analyzing %d driver modules in three modes...\n", len(specs))
 		}
 		start := time.Now()
-		res = experiments.RunCorpus(drivergen.Corpus(), progress)
+		res = experiments.RunCorpusOpts(context.Background(), specs, progress,
+			experiments.CorpusOptions{ModuleTimeout: *moduleTimeout})
 		if !*quiet {
 			fmt.Fprintf(progress, "done in %v\n", time.Since(start).Round(time.Millisecond))
 			fmt.Fprintf(progress, "solver totals: %s\n\n", res.SolveStats)
@@ -84,10 +118,27 @@ func main() {
 	if *csvPath != "" && res != nil {
 		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+	}
+
+	if *failuresJSON != "" && res != nil {
+		data, err := res.FailuresJSON(failureReportSlowest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *failuresJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*failuresJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *failuresJSON)
 		}
 	}
 
@@ -104,13 +155,30 @@ func main() {
 		tr, err := experiments.Timing("ide_tape", *rounds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		}
 		fmt.Println(tr.String())
 	}
-	if res != nil && res.Mismatches > 0 {
-		os.Exit(1)
+	if res != nil && res.Degraded() {
+		fmt.Fprintln(os.Stderr, res.FailureSummary(failureReportSlowest))
+		os.Exit(exitDegraded)
 	}
+	if res != nil && res.Mismatches > 0 {
+		os.Exit(exitMismatch)
+	}
+}
+
+// loadCorpus builds the generated corpus under a fault guard, so a
+// generator panic reports as a structured failure instead of killing
+// the process with a raw stack trace.
+func loadCorpus() (specs []*drivergen.ModuleSpec, err error) {
+	if fail := faults.Run("corpus", nil, func() error {
+		specs = drivergen.Corpus()
+		return nil
+	}); fail != nil {
+		return nil, fmt.Errorf("corpus generation failed: %s\n%s", fail.Message, fail.Stack)
+	}
+	return specs, nil
 }
 
 func dumpCorpus(dir string) error {

@@ -9,11 +9,19 @@
 //	lna qual FILE           three-mode locking analysis of one module (§7)
 //	lna fmt FILE            print the program in canonical form
 //	lna run FILE [ARGS...]  interpret FILE's main(int args...) (§3.2)
+//	lna timing MODULE       E4 timing comparison for one corpus module
 //
-// Flags after the subcommand:
+// Flags may appear before or after the subcommand (`lna -json qual
+// f.mc` and `lna qual -json f.mc` are equivalent):
 //
 //	-params    also infer restrict on ref-typed parameters
 //	-general   exhaustive confine scope search instead of the heuristic
+//	-liberal   check with the liberal §5 restrict-effect semantics
+//	-json      qual: emit the three-mode report as JSON
+//
+// A panic anywhere in the analysis pipeline is reported as a
+// positioned internal-error diagnostic naming the failing phase, not
+// a raw Go stack trace.
 package main
 
 import (
@@ -23,45 +31,140 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"localalias/internal/ast"
 	"localalias/internal/core"
 	"localalias/internal/experiments"
+	"localalias/internal/faults"
 	"localalias/internal/interp"
 	"localalias/internal/qual"
 	"localalias/internal/restrict"
 )
 
+// subcommands names every lna subcommand, for validation and the
+// misplaced-flag error.
+var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing"}
+
+// splitCommand locates the subcommand in the raw argument list: the
+// first token that is not a flag. Flags on either side of it are
+// collected, in order, for the flag parser (the parser itself stops
+// at the first positional argument, so trailing interpreter arguments
+// like `lna run f.mc -3` still pass through untouched). When every
+// token is a flag, the error names the first one so the user sees
+// which flag stranded the command line.
+func splitCommand(args []string) (cmd string, rest []string, err error) {
+	for i, a := range args {
+		if strings.HasPrefix(a, "-") && a != "-" && a != "--" {
+			continue
+		}
+		rest = append(append(rest, args[:i]...), args[i+1:]...)
+		return a, rest, nil
+	}
+	if len(args) > 0 {
+		return "", nil, fmt.Errorf("found flag %s but no subcommand (expected one of %s)",
+			args[0], strings.Join(subcommands, "|"))
+	}
+	return "", nil, fmt.Errorf("no subcommand given")
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	cmd, rest, err := splitCommand(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lna:", err)
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	known := false
+	for _, s := range subcommands {
+		known = known || s == cmd
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "lna: unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	params := fs.Bool("params", false, "also infer restrict on ref-typed parameters")
 	general := fs.Bool("general", false, "exhaustive confine scope search")
 	liberal := fs.Bool("liberal", false, "check with the liberal §5 restrict-effect semantics")
 	asJSON := fs.Bool("json", false, "qual: emit the three-mode report as JSON")
-	_ = fs.Parse(os.Args[2:])
+	if err := fs.Parse(rest); err != nil {
+		// The flag package has already printed the offending flag and
+		// the flag set's usage.
+		os.Exit(2)
+	}
 	args := fs.Args()
 	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 
-	src, err := os.ReadFile(args[0])
-	if err != nil {
-		fatal(err)
+	if cmd == "timing" {
+		tr, err := experiments.Timing(args[0], 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.String())
+		return
 	}
-	mod, err := core.LoadModule(args[0], string(src))
+
+	file := args[0]
+	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
 	}
 
+	// Run the whole pipeline under the fault guard: a panic in any
+	// phase becomes a structured failure reported below, after any
+	// positioned diagnostics accumulated before the fault.
+	tr := faults.NewTrace(file)
+	var mod *core.Module
+	fail := faults.Run(file, tr, func() error {
+		m, err := core.LoadModuleTraced(file, string(src), tr)
+		if err != nil {
+			return err
+		}
+		mod = m
+		return runCommand(cmd, mod, args, options{
+			params:  *params,
+			general: *general,
+			liberal: *liberal,
+			asJSON:  *asJSON,
+		})
+	})
+	if fail == nil {
+		return
+	}
+	if fail.Kind == faults.KindPanic {
+		if mod != nil {
+			fmt.Print(mod.Diags.RenderAll())
+		}
+		fmt.Fprintf(os.Stderr, "lna: %s: internal error during %s: panic: %s\n",
+			file, fail.Phase, fail.Message)
+		if top := faults.TopFrame(fail.Stack); top != "" {
+			fmt.Fprintf(os.Stderr, "    at %s\n", top)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "lna:", fail.Message)
+	os.Exit(1)
+}
+
+// options carries the parsed flags into the subcommand bodies.
+type options struct {
+	params, general, liberal, asJSON bool
+}
+
+// runCommand executes one per-file subcommand. It runs inside the
+// fault guard, so it may panic-free return an error (reported like
+// any analysis failure) or exit directly for expected non-zero
+// outcomes such as verification failures.
+func runCommand(cmd string, mod *core.Module, args []string, opt options) error {
 	switch cmd {
 	case "check":
-		r := restrict.CheckWith(mod.TInfo, mod.Diags, restrict.CheckOptions{Liberal: *liberal})
+		r := restrict.CheckWith(mod.TInfo, mod.Diags, restrict.CheckOptions{Liberal: opt.liberal})
 		fmt.Print(mod.Diags.RenderAll())
 		if r.OK() {
 			fmt.Println("ok: all restrict/confine annotations verified")
@@ -73,7 +176,7 @@ func main() {
 		}
 
 	case "infer":
-		r := mod.InferRestrict(*params)
+		r := mod.InferRestrict(opt.params)
 		fmt.Print(r.Summary())
 		fmt.Println("--- annotated program ---")
 		_ = ast.Fprint(os.Stdout, mod.Prog)
@@ -82,9 +185,9 @@ func main() {
 		}
 
 	case "confine":
-		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: *general})
+		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: opt.general})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("confine inference: planted %d candidate(s), kept %d\n",
 			lr.Confine.Planted, len(lr.Confine.Kept))
@@ -92,15 +195,12 @@ func main() {
 		_ = ast.Fprint(os.Stdout, mod.Prog)
 
 	case "qual":
-		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: *general})
+		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: opt.general})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if *asJSON {
-			if err := writeJSONReport(os.Stdout, mod, lr); err != nil {
-				fatal(err)
-			}
-			return
+		if opt.asJSON {
+			return writeJSONReport(os.Stdout, mod, lr)
 		}
 		report := func(name string, r *qual.Report) {
 			fmt.Printf("%-18s %3d type error(s) at %d lock-op site(s)\n",
@@ -122,28 +222,18 @@ func main() {
 		for _, a := range args[1:] {
 			n, err := strconv.ParseInt(a, 10, 64)
 			if err != nil {
-				fatal(fmt.Errorf("argument %q is not an integer", a))
+				return fmt.Errorf("argument %q is not an integer", a)
 			}
 			vals = append(vals, n)
 		}
 		in := interp.New(mod.TInfo, interp.Options{Out: os.Stdout})
 		v, err := in.Call("main", vals...)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("=> %s\n", interp.FormatValue(v))
-
-	case "timing":
-		tr, err := experiments.Timing(args[0], 5)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(tr.String())
-
-	default:
-		usage()
-		os.Exit(2)
 	}
+	return nil
 }
 
 // jsonError is one site error in -json output.
@@ -192,5 +282,5 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lna <check|infer|confine|qual|fmt|run> [flags] FILE [args...]`)
+	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing> [flags] FILE [args...]`)
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitCommand(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []string
+		cmd  string
+		rest []string
+	}{
+		{"flags after", []string{"qual", "-json", "f.mc"}, "qual", []string{"-json", "f.mc"}},
+		{"flags before", []string{"-json", "qual", "f.mc"}, "qual", []string{"-json", "f.mc"}},
+		{"flags both sides", []string{"-json", "qual", "-general", "f.mc"}, "qual", []string{"-json", "-general", "f.mc"}},
+		{"no flags", []string{"fmt", "f.mc"}, "fmt", []string{"f.mc"}},
+		{"run with negative arg", []string{"run", "f.mc", "-3"}, "run", []string{"f.mc", "-3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd, rest, err := splitCommand(tc.in)
+			if err != nil {
+				t.Fatalf("splitCommand(%v) error: %v", tc.in, err)
+			}
+			if cmd != tc.cmd || !reflect.DeepEqual(rest, tc.rest) {
+				t.Errorf("splitCommand(%v) = %q, %v; want %q, %v", tc.in, cmd, rest, tc.cmd, tc.rest)
+			}
+		})
+	}
+}
+
+func TestSplitCommandErrors(t *testing.T) {
+	_, _, err := splitCommand([]string{"-json"})
+	if err == nil {
+		t.Fatal("expected an error for a flag with no subcommand")
+	}
+	// The error must name the stranded flag and the valid subcommands.
+	for _, want := range []string{"-json", "qual"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+
+	if _, _, err := splitCommand(nil); err == nil {
+		t.Fatal("expected an error for an empty command line")
+	}
+}

@@ -29,9 +29,11 @@
 package confine
 
 import (
+	"context"
 	"fmt"
 
 	"localalias/internal/ast"
+	"localalias/internal/faults"
 	"localalias/internal/infer"
 	"localalias/internal/solve"
 	"localalias/internal/source"
@@ -51,6 +53,13 @@ type Options struct {
 	Params bool
 	// Lets additionally runs let-or-restrict inference (Section 5).
 	Lets bool
+	// Ctx, when non-nil, bounds the constraint solve: the solver
+	// checks its deadline cooperatively so a per-module timeout can
+	// abort a pathological system (see package faults).
+	Ctx context.Context
+	// Trace, when non-nil, records phase transitions (typecheck/
+	// infer/solve) for fault attribution in corpus runs.
+	Trace *faults.Trace
 }
 
 // Result reports a confine inference run.
@@ -86,10 +95,12 @@ func InferAndApply(prog *ast.Program, diags *source.Diagnostics, opts Options) (
 	res.Planted = len(planter.planted)
 
 	// 2. Re-typecheck the planted program and infer.
+	opts.Trace.Enter(faults.PhaseTypecheck)
 	res.TInfo = types.Check(prog, diags)
 	if diags.HasErrors() {
 		return res, fmt.Errorf("confine: planted program fails standard checking: %w", diags.Err())
 	}
+	opts.Trace.Enter(faults.PhaseInfer)
 	optional := make(map[*ast.ConfineStmt]bool, len(planter.planted))
 	for _, c := range planter.planted {
 		optional[c] = true
@@ -100,7 +111,18 @@ func InferAndApply(prog *ast.Program, diags *source.Diagnostics, opts Options) (
 		OptionalConfines:      optional,
 		LiberalRestrictEffect: true, // inference uses the §5 semantics
 	})
-	res.Solution = solve.Solve(res.Infer.Sys)
+	if res.Infer.InternalErrors > 0 {
+		return res, fmt.Errorf("confine: inference failed on the planted program: %w", diags.Err())
+	}
+	opts.Trace.Enter(faults.PhaseSolve)
+	res.Solution = solve.SolveCtx(opts.Ctx, res.Infer.Sys)
+	if mal := res.Solution.Malformed(); len(mal) != 0 {
+		for _, x := range mal {
+			diags.Errorf(prog.File, x.Site, "effects",
+				"internal error: unknown effect expression %s (constraint dropped)", x.Desc)
+		}
+		return res, fmt.Errorf("confine: %w", diags.Err())
+	}
 	res.Violations = res.Solution.Violations()
 	for _, v := range res.Violations {
 		diags.Errorf(prog.File, v.Site, "confine", "%s", v.String())

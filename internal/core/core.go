@@ -10,10 +10,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"localalias/internal/ast"
 	"localalias/internal/confine"
+	"localalias/internal/effects"
+	"localalias/internal/faults"
 	"localalias/internal/infer"
 	"localalias/internal/parser"
 	"localalias/internal/qual"
@@ -22,6 +25,12 @@ import (
 	"localalias/internal/source"
 	"localalias/internal/types"
 )
+
+// ModuleFailure is the structured record of one module's contained
+// failure (panic, timeout, or analysis error), re-exported so
+// pipeline drivers can speak in terms of core alone. See package
+// faults for the containment guards that produce it.
+type ModuleFailure = faults.ModuleFailure
 
 // Module is a parsed and standard-type-checked compilation unit.
 type Module struct {
@@ -34,11 +43,20 @@ type Module struct {
 // LoadModule parses and type checks src. It fails on lexical,
 // syntactic or standard type errors.
 func LoadModule(name, src string) (*Module, error) {
+	return LoadModuleTraced(name, src, nil)
+}
+
+// LoadModuleTraced is LoadModule with phase tracking: tr (when
+// non-nil) records the parse and typecheck phases so a fault inside
+// either is attributed correctly.
+func LoadModuleTraced(name, src string, tr *faults.Trace) (*Module, error) {
 	diags := &source.Diagnostics{}
+	tr.Enter(faults.PhaseParse)
 	prog := parser.Parse(name, src, diags)
 	if diags.HasErrors() {
 		return nil, fmt.Errorf("%s: %w", name, diags.Err())
 	}
+	tr.Enter(faults.PhaseTypecheck)
 	tinfo := types.Check(prog, diags)
 	if diags.HasErrors() {
 		return nil, fmt.Errorf("%s: %w", name, diags.Err())
@@ -113,11 +131,32 @@ func (r *LockingResult) Eliminated() int {
 // The module's AST is rewritten in place by confine inference (the
 // baseline and all-strong modes run first, on the pristine tree).
 func (m *Module) AnalyzeLocking(opts LockingOptions) (*LockingResult, error) {
+	return m.AnalyzeLockingCtx(nil, opts, nil)
+}
+
+// AnalyzeLockingCtx is AnalyzeLocking under fault-containment
+// plumbing: ctx (when non-nil) bounds the constraint solves so a
+// per-module deadline can abort a pathological system cooperatively,
+// and tr (when non-nil) records which phase is executing so a panic
+// or timeout is attributed to infer/solve/qual rather than to the
+// whole module. Internal inconsistencies (unification mismatches,
+// malformed effect expressions) become positioned diagnostics on
+// m.Diags and an error — never a panic.
+func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr *faults.Trace) (*LockingResult, error) {
 	out := &LockingResult{Module: m}
 
 	// Baseline and upper bound on the pristine AST.
+	tr.Enter(faults.PhaseInfer)
 	baseInfer := infer.Run(m.TInfo, m.Diags, infer.Options{})
-	baseSol := solve.Solve(baseInfer.Sys)
+	if baseInfer.InternalErrors > 0 {
+		return nil, fmt.Errorf("%s: %w", m.Name, m.Diags.Err())
+	}
+	tr.Enter(faults.PhaseSolve)
+	baseSol := solve.SolveCtx(ctx, baseInfer.Sys)
+	if err := m.reportMalformed(baseSol.Malformed()); err != nil {
+		return nil, err
+	}
+	tr.Enter(faults.PhaseQual)
 	out.NoConfine = qual.Analyze(baseInfer, baseSol, qual.ModePlain)
 	out.AllStrong = qual.Analyze(baseInfer, baseSol, qual.ModeAllStrong)
 
@@ -127,13 +166,33 @@ func (m *Module) AnalyzeLocking(opts LockingOptions) (*LockingResult, error) {
 		General: opts.General,
 		Params:  !opts.NoParams,
 		Lets:    !opts.NoLets,
+		Ctx:     ctx,
+		Trace:   tr,
 	})
 	if err != nil {
 		return nil, err
 	}
 	out.Confine = cres
+	tr.Enter(faults.PhaseQual)
 	out.WithConfine = qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
 	out.SolveStats.Add(baseSol.Stats)
 	out.SolveStats.Add(cres.Solution.Stats)
 	return out, nil
+}
+
+// reportMalformed converts constraints dropped during normalization
+// into positioned internal-error diagnostics and a module-failing
+// error. A healthy build never reaches this path; it exists so an
+// effects-language extension missing a Normalize case degrades to one
+// failed module instead of a crashed corpus run.
+func (m *Module) reportMalformed(mal []effects.MalformedExpr) error {
+	if len(mal) == 0 {
+		return nil
+	}
+	for _, x := range mal {
+		m.Diags.Errorf(m.Prog.File, x.Site, "effects",
+			"internal error: unknown effect expression %s in a constraint on %s (constraint dropped)",
+			x.Desc, "ε"+fmt.Sprint(x.V))
+	}
+	return fmt.Errorf("%s: %w", m.Name, m.Diags.Err())
 }

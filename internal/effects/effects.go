@@ -115,10 +115,14 @@ func String(e Expr) string { return e.effString() }
 // ---------------------------------------------------------------------
 // Constraints
 
-// Incl is the inclusion constraint L ⊆ ε.
+// Incl is the inclusion constraint L ⊆ ε. Site optionally records the
+// source construct that generated the constraint, so a malformed
+// expression discovered during normalization can be reported as a
+// positioned diagnostic.
 type Incl struct {
-	L Expr
-	V Var
+	L    Expr
+	V    Var
+	Site source.Span
 }
 
 // NotIn is the disinclusion check ρ ∉ ε. Site and What carry
@@ -260,6 +264,25 @@ type System struct {
 	KindNotIns []KindNotIn
 	PairNotIns []PairNotIn
 	Conds      []*Cond
+
+	// Malformed records inclusion constraints Normalize could not
+	// decompose (an Expr implementation outside the five grammar
+	// forms). The constraints are dropped rather than panicking, so
+	// one broken module cannot take down a corpus run; callers that
+	// own a Diagnostics should surface these as positioned
+	// internal-error diagnostics and fail the module.
+	Malformed []MalformedExpr
+}
+
+// MalformedExpr describes one undecomposable inclusion constraint.
+type MalformedExpr struct {
+	// Desc is the dynamic type of the offending expression node.
+	Desc string
+	// V is the constraint's right-hand effect variable.
+	V Var
+	// Site is the source construct that generated the constraint
+	// (NoSpan when the constraint was added without one).
+	Site source.Span
 }
 
 // VarIncl is the dense representation of From ⊆ To.
@@ -332,6 +355,12 @@ func (s *System) FreshN(pre, mid, suf string) Var {
 // AddIncl records L ⊆ v. The common single-variable and single-atom
 // forms are routed to their dense lists.
 func (s *System) AddIncl(l Expr, v Var) {
+	s.AddInclAt(l, v, source.NoSpan)
+}
+
+// AddInclAt records L ⊆ v tagged with the source span that generated
+// the constraint (used to position internal-error diagnostics).
+func (s *System) AddInclAt(l Expr, v Var, site source.Span) {
 	switch l := l.(type) {
 	case Empty:
 		return
@@ -340,7 +369,7 @@ func (s *System) AddIncl(l Expr, v Var) {
 	case AtomExpr:
 		s.AddAtom(l.A, v)
 	default:
-		s.Incls = append(s.Incls, Incl{L: l, V: v})
+		s.Incls = append(s.Incls, Incl{L: l, V: v, Site: site})
 	}
 }
 
@@ -430,6 +459,7 @@ func (s *System) Normalize() []Norm {
 	// Nearly every inclusion yields exactly one norm; unions add a few
 	// more. Sizing to the input avoids repeated regrowth on big systems.
 	out := make([]Norm, 0, len(s.Incls)+len(s.VarIncls)+len(s.AtomIncls))
+	s.Malformed = s.Malformed[:0] // Normalize may run more than once (e.g. differential tests)
 	work := append(make([]Incl, 0, len(s.Incls)+8), s.Incls...)
 	for len(work) > 0 {
 		in := work[len(work)-1]
@@ -444,17 +474,28 @@ func (s *System) Normalize() []Norm {
 				out = append(out, Norm{Left: VarM(l.V), V: in.V})
 			}
 		case Union:
-			work = append(work, Incl{L: l.L, V: in.V}, Incl{L: l.R, V: in.V})
+			work = append(work,
+				Incl{L: l.L, V: in.V, Site: in.Site},
+				Incl{L: l.R, V: in.V, Site: in.Site})
 		case Inter:
-			lm, lok := s.asM(l.L, &work)
-			rm, rok := s.asM(l.R, &work)
+			lm, lok := s.asM(l.L, &work, in.Site)
+			rm, rok := s.asM(l.R, &work, in.Site)
 			if !lok || !rok {
 				// One side was ∅: the whole intersection is empty.
 				continue
 			}
 			out = append(out, Norm{Left: lm, Right: rm, Inter: true, V: in.V})
 		default:
-			panic(fmt.Sprintf("effects: unknown expression %T", in.L))
+			// An expression form outside the grammar is an internal
+			// invariant breach (inference only builds the five forms
+			// above). Drop the constraint and record it so the caller
+			// can fail this module with a positioned diagnostic —
+			// panicking here used to kill a whole 589-module run.
+			s.Malformed = append(s.Malformed, MalformedExpr{
+				Desc: fmt.Sprintf("%T", in.L),
+				V:    in.V,
+				Site: in.Site,
+			})
 		}
 	}
 	// The dense lists are already in M ⊆ ε form. Reverse creation
@@ -475,7 +516,7 @@ func (s *System) Normalize() []Norm {
 // asM reduces an intersection operand to atom-or-variable form,
 // hoisting unions and nested intersections through a fresh variable
 // (second-to-last rules of Figure 4b). The bool is false for ∅.
-func (s *System) asM(e Expr, work *[]Incl) (M, bool) {
+func (s *System) asM(e Expr, work *[]Incl, site source.Span) (M, bool) {
 	switch e := e.(type) {
 	case Empty:
 		return M{}, false
@@ -483,9 +524,9 @@ func (s *System) asM(e Expr, work *[]Incl) (M, bool) {
 		return AtomM(e.A), true
 	case VarRef:
 		return VarM(e.V), true
-	default: // Union or Inter
+	default: // Union, Inter, or a malformed node caught on the next pop
 		fresh := s.Fresh("norm")
-		*work = append(*work, Incl{L: e, V: fresh})
+		*work = append(*work, Incl{L: e, V: fresh, Site: site})
 		return VarM(fresh), true
 	}
 }

@@ -1,0 +1,82 @@
+package effects
+
+// Regression test for the fault-containment fix: Normalize used to
+// panic on an Expr implementation outside the five grammar forms,
+// killing whole corpus runs. It now drops the constraint and records
+// it in System.Malformed for a positioned diagnostic.
+
+import (
+	"testing"
+
+	"localalias/internal/locs"
+	"localalias/internal/source"
+)
+
+// rogueExpr stands in for a future Expr form Normalize was never
+// taught to decompose.
+type rogueExpr struct{}
+
+func (rogueExpr) effString() string { return "rogue" }
+
+func TestNormalizeMalformedExprIsContained(t *testing.T) {
+	ls := locs.NewStore()
+	sys := NewSystem(ls)
+	v := sys.Fresh("v")
+	w := sys.Fresh("w")
+	rho := ls.Fresh("rho")
+	site := source.Span{Start: 7, End: 12}
+
+	// A healthy constraint, a malformed one, and a malformed node
+	// nested under a union (exercising site propagation through the
+	// decomposition work list).
+	sys.AddAtom(Atom{Kind: Read, Loc: rho}, v)
+	sys.AddInclAt(rogueExpr{}, w, site)
+	sys.AddInclAt(Union{L: VarRef{V: v}, R: rogueExpr{}}, w, site)
+
+	var norms []Norm
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Normalize panicked: %v", p)
+			}
+		}()
+		norms = sys.Normalize()
+	}()
+
+	if len(sys.Malformed) != 2 {
+		t.Fatalf("Malformed = %+v, want 2 records", sys.Malformed)
+	}
+	for _, m := range sys.Malformed {
+		if m.Desc != "effects.rogueExpr" {
+			t.Errorf("Desc = %q, want effects.rogueExpr", m.Desc)
+		}
+		if m.V != w {
+			t.Errorf("V = %v, want %v", m.V, w)
+		}
+		if m.Site != site {
+			t.Errorf("Site = %+v, want %+v", m.Site, site)
+		}
+	}
+
+	// The well-formed constraints survive: {read(rho)} ⊆ v and, from
+	// the union's good branch, v ⊆ w.
+	var sawAtom, sawVar bool
+	for _, n := range norms {
+		if n.Left.IsAtom && n.Left.A == (Atom{Kind: Read, Loc: rho}) && n.V == v {
+			sawAtom = true
+		}
+		if !n.Left.IsAtom && n.Left.V == v && n.V == w {
+			sawVar = true
+		}
+	}
+	if !sawAtom || !sawVar {
+		t.Errorf("well-formed norms missing (atom=%v var=%v): %+v", sawAtom, sawVar, norms)
+	}
+
+	// Normalize is idempotent on the record list (it resets rather
+	// than double-appending when run twice, as differential tests do).
+	sys.Normalize()
+	if len(sys.Malformed) != 2 {
+		t.Fatalf("second Normalize duplicated records: %d", len(sys.Malformed))
+	}
+}

@@ -46,13 +46,15 @@ func BenchSolverPropagation(b *testing.B) {
 	src := ScalingProgram(200, 0)
 	mod, err := core.LoadModule("scale.mc", src)
 	if err != nil {
-		b.Fatal(err)
+		benchFatal(b, err)
+		return
 	}
 	for i := 0; i < b.N; i++ {
 		res := infer.Run(mod.TInfo, mod.Diags, infer.Options{InferRestrictLets: true})
 		sol := solve.Solve(res.Sys)
 		if sol.AtomsPropagated == 0 {
-			b.Fatal("no propagation")
+			benchFatal(b, fmt.Errorf("solver propagated no atoms on the scaling program"))
+			return
 		}
 	}
 }
@@ -66,8 +68,13 @@ func BenchCorpusSummary(b *testing.B) {
 		res = RunCorpus(specs, nil)
 	}
 	b.StopTimer()
+	if res.Degraded() {
+		benchFatal(b, fmt.Errorf("%d of %d modules failed or timed out", res.Failed+res.TimedOut, len(res.Modules)))
+		return
+	}
 	if res.Mismatches != 0 {
-		b.Fatalf("corpus mismatches: %d", res.Mismatches)
+		benchFatal(b, fmt.Errorf("%d corpus mismatches", res.Mismatches))
+		return
 	}
 	b.ReportMetric(float64(res.Eliminated), "eliminated")
 	b.ReportMetric(float64(res.Potential), "potential")
@@ -83,16 +90,22 @@ func BenchConfineOverhead(b *testing.B, withConfine bool) {
 			spec = m
 		}
 	}
+	if spec == nil {
+		benchFatal(b, fmt.Errorf("module ide_tape not found in the corpus"))
+		return
+	}
 	src := spec.Source()
 	for i := 0; i < b.N; i++ {
 		mod, err := core.LoadModule("ide_tape.mc", src)
 		if err != nil {
-			b.Fatal(err)
+			benchFatal(b, err)
+			return
 		}
 		if withConfine {
 			cres, err := confine.InferAndApply(mod.Prog, mod.Diags, confine.Options{Params: true})
 			if err != nil {
-				b.Fatal(err)
+				benchFatal(b, err)
+				return
 			}
 			qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
 		} else {
@@ -101,6 +114,19 @@ func BenchConfineOverhead(b *testing.B, withConfine bool) {
 			qual.Analyze(res, sol, qual.ModePlain)
 		}
 	}
+}
+
+// benchErr records the underlying failure of the most recent bench
+// body. b.Fatal aborts the benchmark goroutine without surfacing its
+// message through testing.Benchmark (the result only shows N == 0),
+// so bodies report the cause here before aborting.
+var benchErr error
+
+// benchFatal records err as the benchmark's underlying failure and
+// aborts the run.
+func benchFatal(b *testing.B, err error) {
+	benchErr = err
+	b.Fatal(err)
 }
 
 // BenchMeasurement is one benchmark's measurement in -bench-json
@@ -128,9 +154,15 @@ func RunBenchJSON() ([]byte, error) {
 	}
 	var out []BenchMeasurement
 	for _, bench := range benches {
+		benchErr = nil
 		r := testing.Benchmark(bench.fn)
 		if r.N == 0 {
-			return nil, fmt.Errorf("%s failed (zero iterations)", bench.name)
+			underlying := benchErr
+			if underlying == nil {
+				underlying = fmt.Errorf("benchmark body aborted without reporting a cause")
+			}
+			return nil, fmt.Errorf("benchmark %s failed after zero iterations over the %d-module corpus: %w",
+				bench.name, drivergen.NumModules, underlying)
 		}
 		out = append(out, BenchMeasurement{
 			Name:        bench.name,

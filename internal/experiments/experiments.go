@@ -18,6 +18,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,6 +32,7 @@ import (
 	"localalias/internal/confine"
 	"localalias/internal/core"
 	"localalias/internal/drivergen"
+	"localalias/internal/faults"
 	"localalias/internal/infer"
 	"localalias/internal/qual"
 	"localalias/internal/solve"
@@ -48,6 +51,13 @@ type ModuleResult struct {
 	SolveStats solve.Stats
 	// Err is non-nil if the module failed to compile or analyze.
 	Err error
+	// Failure is the structured record when the module's analysis
+	// panicked, timed out, or errored inside the containment guard
+	// (Err aliases it then).
+	Failure *core.ModuleFailure
+	// PhaseTimings is the per-phase wall-clock breakdown
+	// (generate/parse/typecheck/infer/solve/qual).
+	PhaseTimings []faults.PhaseTiming
 }
 
 // Potential is the number of spurious errors strong updates could
@@ -79,6 +89,15 @@ type CorpusResult struct {
 	// the generator's expectation (0 in a healthy build).
 	Mismatches int
 
+	// Failed and TimedOut count modules whose analysis was contained
+	// by the fault guard (panic or error, and deadline expiry,
+	// respectively); Failures holds their records in corpus order.
+	// The rest of the corpus completes regardless — a degraded run,
+	// not a crashed one.
+	Failed   int
+	TimedOut int
+	Failures []*core.ModuleFailure
+
 	// SolveStats aggregates the solver work counters over the whole
 	// corpus — a coarse regression canary for the constraint solver
 	// (the counters are deterministic per module, so corpus totals are
@@ -94,40 +113,121 @@ func (r *CorpusResult) EliminationRate() float64 {
 	return float64(r.Eliminated) / float64(r.Potential)
 }
 
-// analyzeSpec measures one module.
-func analyzeSpec(spec *drivergen.ModuleSpec) *ModuleResult {
-	out := &ModuleResult{Spec: spec}
-	mod, err := core.LoadModule(spec.Name+".mc", spec.Source())
-	if err != nil {
-		out.Err = err
-		return out
+// Analyzed is the number of modules that completed analysis (whether
+// or not their numbers matched expectations).
+func (r *CorpusResult) Analyzed() int {
+	return len(r.Modules) - r.Failed - r.TimedOut
+}
+
+// Degraded reports whether any module failed or timed out — the run
+// completed, but its numbers cover only the surviving modules.
+func (r *CorpusResult) Degraded() bool { return r.Failed+r.TimedOut > 0 }
+
+// PhaseFailures breaks the failures down by pipeline phase.
+func (r *CorpusResult) PhaseFailures() map[faults.Phase]int {
+	if len(r.Failures) == 0 {
+		return nil
 	}
-	start := time.Now()
-	lr, err := mod.AnalyzeLocking(core.LockingOptions{})
-	out.AnalyzeTime = time.Since(start)
-	if err != nil {
-		out.Err = err
-		return out
+	out := make(map[faults.Phase]int)
+	for _, f := range r.Failures {
+		out[f.Phase]++
 	}
-	out.Measured = drivergen.Triple{
-		NoConfine: lr.NoConfine.NumErrors(),
-		Confine:   lr.WithConfine.NumErrors(),
-		AllStrong: lr.AllStrong.NumErrors(),
-	}
-	out.Planted = lr.Confine.Planted
-	out.Kept = len(lr.Confine.Kept)
-	out.SolveStats = lr.SolveStats
 	return out
 }
 
+// testFaultHook, when non-nil, runs at the start of each module's
+// guarded analysis. It is the seam fault-injection tests use to make
+// a chosen module panic or stall without touching the real pipeline.
+var testFaultHook func(ctx context.Context, spec *drivergen.ModuleSpec)
+
+// analyzeSpec measures one module under the fault-containment guard:
+// a panic anywhere in generation, loading, or analysis becomes a
+// structured ModuleFailure, and timeout (when non-zero) bounds the
+// module's wall-clock time so one pathological constraint system
+// cannot stall a worker.
+func analyzeSpec(ctx context.Context, spec *drivergen.ModuleSpec, timeout time.Duration) *ModuleResult {
+	out := &ModuleResult{Spec: spec}
+	tr := faults.NewTrace(spec.Name)
+	start := time.Now()
+	// The closure writes only these locals; they are read back only
+	// on success, so an abandoned (timed-out) goroutine that is still
+	// running cannot race with the worker.
+	var (
+		measured      drivergen.Triple
+		planted, kept int
+		stats         solve.Stats
+		analyzeTime   time.Duration
+	)
+	fail := faults.RunBounded(ctx, spec.Name, timeout, tr, func(ctx context.Context) error {
+		tr.Enter(faults.PhaseGenerate)
+		if testFaultHook != nil {
+			testFaultHook(ctx, spec)
+		}
+		src := spec.Source()
+		mod, err := core.LoadModuleTraced(spec.Name+".mc", src, tr)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		lr, err := mod.AnalyzeLockingCtx(ctx, core.LockingOptions{}, tr)
+		analyzeTime = time.Since(t0)
+		if err != nil {
+			return err
+		}
+		measured = drivergen.Triple{
+			NoConfine: lr.NoConfine.NumErrors(),
+			Confine:   lr.WithConfine.NumErrors(),
+			AllStrong: lr.AllStrong.NumErrors(),
+		}
+		planted = lr.Confine.Planted
+		kept = len(lr.Confine.Kept)
+		stats = lr.SolveStats
+		return nil
+	})
+	out.PhaseTimings = tr.Timings()
+	if fail != nil {
+		out.Failure = fail
+		out.Err = fail
+		out.AnalyzeTime = time.Since(start)
+		return out
+	}
+	out.Measured = measured
+	out.Planted = planted
+	out.Kept = kept
+	out.SolveStats = stats
+	out.AnalyzeTime = analyzeTime
+	return out
+}
+
+// CorpusOptions configures a corpus run's fault-containment policy.
+type CorpusOptions struct {
+	// ModuleTimeout bounds each module's end-to-end analysis
+	// (generation through qualifier analysis). Zero means no
+	// per-module deadline. A module that exceeds it is reported as
+	// timed out and the run continues.
+	ModuleTimeout time.Duration
+}
+
 // RunCorpus analyzes the given specs (pass drivergen.Corpus() for the
-// full experiment) on a fixed pool of one worker per CPU. Workers pull
-// the next module off a shared atomic counter, so the scheduler never
-// sees more than NumCPU analysis goroutines at once (the previous
-// goroutine-per-module version spawned all 589 up front and parked
-// most of them on a semaphore). Progress lines go to progress when
-// non-nil, including a final "589/589" flush.
+// full experiment) on a fixed pool of one worker per CPU, with no
+// per-module deadline. See RunCorpusOpts.
 func RunCorpus(specs []*drivergen.ModuleSpec, progress io.Writer) *CorpusResult {
+	return RunCorpusOpts(context.Background(), specs, progress, CorpusOptions{})
+}
+
+// RunCorpusOpts analyzes the given specs on a fixed pool of one
+// worker per CPU. Workers pull the next module off a shared atomic
+// counter, so the scheduler never sees more than NumCPU analysis
+// goroutines at once. Each module runs under a fault-containment
+// guard: a panic or deadline expiry fails that module (recorded in
+// the result's Failures) while the rest of the corpus completes — the
+// paper's 589-driver sweep degrades instead of crashing. Progress
+// lines go to progress when non-nil, including a final "589/589"
+// flush. Cancelling ctx stops workers between modules.
+func RunCorpusOpts(ctx context.Context, specs []*drivergen.ModuleSpec, progress io.Writer, opts CorpusOptions) *CorpusResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*ModuleResult, len(specs))
 	nw := runtime.NumCPU()
 	if nw > len(specs) {
@@ -139,12 +239,12 @@ func RunCorpus(specs []*drivergen.ModuleSpec, progress io.Writer) *CorpusResult 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(specs) {
 					return
 				}
-				results[i] = analyzeSpec(specs[i])
+				results[i] = analyzeSpec(ctx, specs[i], opts.ModuleTimeout)
 				if n := int(done.Add(1)); progress != nil && n%50 == 0 && n < len(specs) {
 					fmt.Fprintf(progress, "  ...%d/%d modules\n", n, len(specs))
 				}
@@ -161,6 +261,18 @@ func RunCorpus(specs []*drivergen.ModuleSpec, progress io.Writer) *CorpusResult 
 func aggregate(results []*ModuleResult) *CorpusResult {
 	r := &CorpusResult{Modules: results}
 	for _, m := range results {
+		if m == nil {
+			continue // worker stopped by ctx cancellation before reaching it
+		}
+		if m.Failure != nil {
+			if m.Failure.Kind == faults.KindTimeout {
+				r.TimedOut++
+			} else {
+				r.Failed++
+			}
+			r.Failures = append(r.Failures, m.Failure)
+			continue
+		}
 		if m.Err != nil {
 			r.Mismatches++
 			continue
@@ -212,6 +324,120 @@ func (r *CorpusResult) Summary() string {
 		r.EliminationRate()*100, 95.1)
 	if r.Mismatches > 0 {
 		fmt.Fprintf(&b, "  WARNING: %d module(s) deviated from generator expectations\n", r.Mismatches)
+	}
+	if r.Degraded() {
+		fmt.Fprintf(&b, "  DEGRADED RUN: %d analyzed, %d failed, %d timed out (counts above cover survivors only)\n",
+			r.Analyzed(), r.Failed, r.TimedOut)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Degraded-run failure reporting
+
+// SlowModule is one row of the slowest-modules table: total analysis
+// time with its per-phase breakdown.
+type SlowModule struct {
+	Module  string               `json:"module"`
+	Elapsed time.Duration        `json:"elapsed_ns"`
+	Phases  []faults.PhaseTiming `json:"phases,omitempty"`
+}
+
+// FailureReport is the machine-readable summary of a (possibly
+// degraded) corpus run: what failed, where, and which modules were
+// slowest. It is what cmd/experiments -failures-json emits.
+type FailureReport struct {
+	Modules  int                   `json:"modules"`
+	Analyzed int                   `json:"analyzed"`
+	Failed   int                   `json:"failed"`
+	TimedOut int                   `json:"timed_out"`
+	ByPhase  map[string]int        `json:"by_phase,omitempty"`
+	Failures []*core.ModuleFailure `json:"failures"`
+	Slowest  []SlowModule          `json:"slowest,omitempty"`
+}
+
+// FailureReport builds the report, including the slowestN surviving
+// modules by analysis time (with per-phase timings from the solver's
+// trace).
+func (r *CorpusResult) FailureReport(slowestN int) *FailureReport {
+	rep := &FailureReport{
+		Modules:  len(r.Modules),
+		Analyzed: r.Analyzed(),
+		Failed:   r.Failed,
+		TimedOut: r.TimedOut,
+		Failures: r.Failures,
+	}
+	if rep.Failures == nil {
+		rep.Failures = []*core.ModuleFailure{} // render as [], not null
+	}
+	for p, n := range r.PhaseFailures() {
+		if rep.ByPhase == nil {
+			rep.ByPhase = make(map[string]int)
+		}
+		rep.ByPhase[string(p)] = n
+	}
+	var ok []*ModuleResult
+	for _, m := range r.Modules {
+		if m != nil && m.Failure == nil && m.Err == nil {
+			ok = append(ok, m)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].AnalyzeTime != ok[j].AnalyzeTime {
+			return ok[i].AnalyzeTime > ok[j].AnalyzeTime
+		}
+		return ok[i].Spec.Name < ok[j].Spec.Name
+	})
+	if slowestN > len(ok) {
+		slowestN = len(ok)
+	}
+	for _, m := range ok[:slowestN] {
+		rep.Slowest = append(rep.Slowest, SlowModule{
+			Module:  m.Spec.Name,
+			Elapsed: m.AnalyzeTime,
+			Phases:  m.PhaseTimings,
+		})
+	}
+	return rep
+}
+
+// FailuresJSON renders the failure report as indented JSON.
+func (r *CorpusResult) FailuresJSON(slowestN int) ([]byte, error) {
+	return json.MarshalIndent(r.FailureReport(slowestN), "", "  ")
+}
+
+// FailureSummary renders a human-readable degraded-run report: one
+// line per failure and the slowest-modules table. Empty when the run
+// was healthy.
+func (r *CorpusResult) FailureSummary(slowestN int) string {
+	if !r.Degraded() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "degraded run: %d/%d modules analyzed, %d failed, %d timed out\n",
+		r.Analyzed(), len(r.Modules), r.Failed, r.TimedOut)
+	byPhase := r.PhaseFailures()
+	phases := make([]string, 0, len(byPhase))
+	for p := range byPhase {
+		phases = append(phases, string(p))
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  phase %-9s %d failure(s)\n", p+":", byPhase[faults.Phase(p)])
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  %s\n", f.Error())
+	}
+	rep := r.FailureReport(slowestN)
+	if len(rep.Slowest) > 0 {
+		fmt.Fprintf(&b, "slowest surviving modules:\n")
+		for _, s := range rep.Slowest {
+			fmt.Fprintf(&b, "  %-16s %10v", s.Module, s.Elapsed.Round(time.Microsecond))
+			for _, pt := range s.Phases {
+				fmt.Fprintf(&b, "  %s=%v", pt.Phase, pt.Elapsed.Round(time.Microsecond))
+			}
+			fmt.Fprintln(&b)
+		}
 	}
 	return b.String()
 }

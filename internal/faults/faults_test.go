@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSuccess(t *testing.T) {
+	tr := NewTrace("m")
+	if f := Run("m", tr, func() error { return nil }); f != nil {
+		t.Fatalf("unexpected failure: %v", f)
+	}
+}
+
+func TestRunError(t *testing.T) {
+	tr := NewTrace("m")
+	tr.Enter(PhaseParse)
+	f := Run("m", tr, func() error { return errors.New("boom") })
+	if f == nil {
+		t.Fatal("expected a failure")
+	}
+	if f.Kind != KindError || f.Phase != PhaseParse || f.Message != "boom" {
+		t.Fatalf("got %+v", f)
+	}
+	if f.Stack != "" {
+		t.Fatalf("error failures carry no stack, got %q", f.Stack)
+	}
+}
+
+func TestRunPanic(t *testing.T) {
+	tr := NewTrace("m")
+	tr.Enter(PhaseInfer)
+	f := Run("m", tr, func() error {
+		tr.Enter(PhaseSolve)
+		panic("solver invariant broken")
+	})
+	if f == nil {
+		t.Fatal("expected a failure")
+	}
+	if f.Kind != KindPanic || f.Phase != PhaseSolve {
+		t.Fatalf("got kind=%s phase=%s", f.Kind, f.Phase)
+	}
+	if !strings.Contains(f.Message, "solver invariant broken") {
+		t.Fatalf("message %q", f.Message)
+	}
+	if f.Stack == "" || strings.HasPrefix(f.Stack, "goroutine ") || strings.Contains(f.Stack, "debug.Stack") {
+		t.Fatalf("want a trimmed stack, got %q", f.Stack)
+	}
+	if !strings.Contains(f.Error(), "module m") || !strings.Contains(f.Error(), "solve") {
+		t.Fatalf("Error() = %q", f.Error())
+	}
+	if top := TopFrame(f.Stack); !strings.Contains(top, ".go:") {
+		t.Fatalf("TopFrame = %q from stack:\n%s", top, f.Stack)
+	}
+}
+
+func TestCheckDeadlineAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := NewTrace("m")
+	tr.Enter(PhaseSolve)
+	f := Run("m", tr, func() error {
+		CheckDeadline(ctx)
+		t.Error("CheckDeadline should have aborted")
+		return nil
+	})
+	if f == nil || f.Kind != KindTimeout || f.Phase != PhaseSolve {
+		t.Fatalf("got %+v", f)
+	}
+	// nil context never aborts.
+	CheckDeadline(nil)
+	CheckDeadline(context.Background())
+}
+
+func TestRunBoundedTimeoutAbandons(t *testing.T) {
+	tr := NewTrace("m")
+	tr.Enter(PhaseQual)
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	f := RunBounded(context.Background(), "m", 50*time.Millisecond, tr, func(ctx context.Context) error {
+		<-release // non-cooperative: ignores ctx entirely
+		return nil
+	})
+	if f == nil || f.Kind != KindTimeout || f.Phase != PhaseQual {
+		t.Fatalf("got %+v", f)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("abandonment took %v", el)
+	}
+}
+
+func TestRunBoundedCooperativeTimeout(t *testing.T) {
+	tr := NewTrace("m")
+	f := RunBounded(context.Background(), "m", 30*time.Millisecond, tr, func(ctx context.Context) error {
+		tr.Enter(PhaseSolve)
+		for {
+			CheckDeadline(ctx)
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if f == nil || f.Kind != KindTimeout || f.Phase != PhaseSolve {
+		t.Fatalf("got %+v", f)
+	}
+}
+
+func TestRunBoundedNoTimeout(t *testing.T) {
+	tr := NewTrace("m")
+	if f := RunBounded(context.Background(), "m", 0, tr, func(ctx context.Context) error { return nil }); f != nil {
+		t.Fatalf("unexpected failure: %v", f)
+	}
+}
+
+func TestTraceTimings(t *testing.T) {
+	tr := NewTrace("m")
+	tr.Enter(PhaseParse)
+	tr.Enter(PhaseInfer)
+	tr.Enter(PhaseQual)
+	tr.Enter(PhaseQual) // re-entry accumulates, no duplicate row
+	got := tr.Timings()
+	if len(got) != 3 {
+		t.Fatalf("want 3 phases, got %v", got)
+	}
+	want := []Phase{PhaseParse, PhaseInfer, PhaseQual}
+	for i, pt := range got {
+		if pt.Phase != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+		if pt.Elapsed < 0 {
+			t.Fatalf("negative elapsed in %v", got)
+		}
+	}
+	var nilTrace *Trace
+	nilTrace.Enter(PhaseParse) // nil trace is inert
+	if nilTrace.Current() != "" || nilTrace.Timings() != nil {
+		t.Fatal("nil trace should be inert")
+	}
+}

@@ -179,6 +179,7 @@ func (inf *inferencer) call(e *ast.CallExpr, sink effects.Var, env effects.Var) 
 	for i, a := range e.Args {
 		at := inf.expr(a, sink, env)
 		if i < len(fi.params) && at.Kind() == fi.params[i].Kind() {
+			inf.b.site = a.Span()
 			inf.b.unify(at, fi.params[i])
 		}
 	}

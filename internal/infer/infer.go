@@ -107,6 +107,12 @@ type Result struct {
 	FunBody map[string]effects.Var
 	// SymLTypes is the located type of each symbol.
 	SymLTypes map[*types.Symbol]*LType
+
+	// InternalErrors counts internal-error diagnostics recorded
+	// during inference (unification mismatches that standard checking
+	// should have prevented). Non-zero means the run's constraint
+	// system is unreliable and the module must be failed.
+	InternalErrors int
 }
 
 // TargetOf returns the pointed-to cell of a ref-typed expression
@@ -139,6 +145,9 @@ func Run(tinfo *types.Info, diags *source.Diagnostics, opts Options) *Result {
 	sys.Reserve(2*len(tinfo.ExprTypes), 2*len(tinfo.ExprTypes))
 	b := newBuilder(ls, sys)
 	b.structReg = tinfo.Structs
+	b.diags = diags
+	b.file = tinfo.Prog.File
+	b.site = source.NoSpan
 
 	inf := &inferencer{
 		b:     b,
@@ -161,6 +170,7 @@ func Run(tinfo *types.Info, diags *source.Diagnostics, opts Options) *Result {
 		},
 	}
 	inf.run()
+	inf.res.InternalErrors = b.internal
 	return inf.res
 }
 
@@ -270,10 +280,10 @@ func (inf *inferencer) run() {
 		if inf.opts.NoDown {
 			inf.sys.AddVarIncl(fi.body, fi.eff)
 		} else {
-			inf.sys.AddIncl(effects.Inter{
+			inf.sys.AddInclAt(effects.Inter{
 				L: effects.VarRef{V: fi.body},
 				R: effects.VarRef{V: fi.keep},
-			}, fi.eff)
+			}, fi.eff, f.Span())
 		}
 	}
 
@@ -522,6 +532,7 @@ func (inf *inferencer) stmt(s ast.Stmt, sink, env effects.Var) effects.Var {
 		cell, content := inf.place(s.LHS, sink, env)
 		rhsT := inf.expr(s.RHS, sink, env)
 		if content != nil && content.Kind() == rhsT.Kind() {
+			inf.b.site = s.Span()
 			inf.b.unify(content, rhsT)
 		}
 		if cell != locs.NoLoc {
@@ -542,6 +553,7 @@ func (inf *inferencer) stmt(s ast.Stmt, sink, env effects.Var) effects.Var {
 		if s.X != nil {
 			rt := inf.expr(s.X, sink, env)
 			if inf.cur != nil && rt.Kind() == inf.cur.result.Kind() {
+				inf.b.site = s.X.Span()
 				inf.b.unify(rt, inf.cur.result)
 			}
 		}

@@ -29,6 +29,7 @@ import (
 	"localalias/internal/ast"
 	"localalias/internal/effects"
 	"localalias/internal/locs"
+	"localalias/internal/source"
 	"localalias/internal/types"
 )
 
@@ -44,6 +45,25 @@ const (
 	LArray
 	LStruct
 )
+
+func (k LKind) String() string {
+	switch k {
+	case LInt:
+		return "int"
+	case LUnit:
+		return "unit"
+	case LLock:
+		return "lock"
+	case LRef:
+		return "ref"
+	case LArray:
+		return "array"
+	case LStruct:
+		return "struct"
+	default:
+		return fmt.Sprintf("lkind(%d)", uint8(k))
+	}
+}
 
 // LType is a located type: a standard type whose ref targets, array
 // elements and struct fields carry abstract locations. LTypes form a
@@ -139,6 +159,16 @@ type builder struct {
 	ls  *locs.Store
 	sys *effects.System
 
+	// diags/file receive internal-error diagnostics (unification
+	// mismatches that standard checking should have prevented); site
+	// is the span of the construct currently being unified, set by
+	// the inferencer before each top-level unify call. internal
+	// counts the diagnostics recorded.
+	diags    *source.Diagnostics
+	file     *source.File
+	site     source.Span
+	internal int
+
 	// structReg resolves struct names in field types.
 	structReg map[string]*ast.StructDecl
 
@@ -154,6 +184,19 @@ type builder struct {
 	// chunk is replaced by a fresh one), so returned pointers stay
 	// valid.
 	slab []LType
+}
+
+// internalErrf records an internal-error diagnostic at the span of
+// the construct currently being unified and marks the run as failed
+// (Result.InternalErrors). Inputs that are malformed in a way
+// standard checking misses fail their module, not the process.
+func (b *builder) internalErrf(format string, args ...any) {
+	b.internal++
+	if b.diags != nil {
+		b.diags.Errorf(b.file, b.site, "infer",
+			"internal error: "+format+" (standard checking should have rejected this program)",
+			args...)
+	}
 }
 
 func newBuilder(ls *locs.Store, sys *effects.System) *builder {
@@ -293,17 +336,19 @@ func (b *builder) resolveSyntactic(t ast.TypeExpr) types.Type {
 // Unification (Figure 4a)
 
 // unify merges two located types. Standard checking guarantees the
-// shapes agree; a mismatch indicates an internal error and panics.
-// The union is performed before recursing into components, which
-// makes unification terminate on cyclic struct graphs.
+// shapes agree; a mismatch indicates an internal error, reported as a
+// positioned diagnostic (the module fails; the process must not — a
+// panic here used to take down whole corpus runs). The union is
+// performed before recursing into components, which makes unification
+// terminate on cyclic struct graphs.
 func (b *builder) unify(a, c *LType) {
 	a, c = a.find(), c.find()
 	if a == c {
 		return
 	}
 	if a.kind != c.kind {
-		panic(fmt.Sprintf("infer: unifying %v with %v (standard checking should prevent this)",
-			a.kind, c.kind))
+		b.internalErrf("cannot unify %s (%s) with %s (%s)", a, a.kind, c, c.kind)
+		return
 	}
 	winner, loser := a, c
 	if winner.rank < loser.rank {
@@ -323,7 +368,9 @@ func (b *builder) unify(a, c *LType) {
 		b.unify(winner.elem, loser.elem)
 	case LStruct:
 		if winner.decl != loser.decl {
-			panic("infer: unifying distinct struct types")
+			b.internalErrf("cannot unify distinct struct types %s and %s",
+				winner.decl.Name, loser.decl.Name)
+			return
 		}
 		for i := range winner.fields {
 			b.ls.Unify(winner.fcells[i], loser.fcells[i])

@@ -1,11 +1,13 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"localalias/internal/bitset"
 	"localalias/internal/effects"
+	"localalias/internal/faults"
 	"localalias/internal/locs"
 )
 
@@ -34,6 +36,15 @@ type Result struct {
 
 	// Stats counts the work performed while solving.
 	Stats Stats
+}
+
+// Malformed returns the undecomposable inclusion constraints the
+// pre-solve normalization dropped (see effects.System.Malformed).
+// Non-empty means the least solution is computed over an incomplete
+// system; pipeline callers must surface these as internal-error
+// diagnostics and fail the module.
+func (r *Result) Malformed() []effects.MalformedExpr {
+	return r.sys.Malformed
 }
 
 // Atoms returns the canonical atoms of v's solution, sorted.
@@ -186,6 +197,13 @@ type solver struct {
 	res *Result
 	in  *effects.Interner
 
+	// ctx bounds the solve: the propagation loop checks its deadline
+	// periodically (every deadlineStride insertions) so a per-module
+	// timeout can abort a pathological constraint system
+	// cooperatively. nil means unbounded.
+	ctx   context.Context
+	steps int
+
 	// extra overlays conditional-added out-edges on the immutable CSR
 	// skeleton; nil until the first ActIncl fires.
 	extra [][]target
@@ -231,11 +249,26 @@ type qitem struct {
 // of the O(n) possible location unifications triggers O(n) of
 // re-propagation, for the stated O(n²) bound.
 func Solve(sys *effects.System) *Result {
+	return SolveCtx(nil, sys)
+}
+
+// deadlineStride is how many propagation steps pass between deadline
+// checks — frequent enough that a timed-out module aborts promptly,
+// rare enough to stay off the hot-path profile.
+const deadlineStride = 4096
+
+// SolveCtx is Solve bounded by a context: the worklist loop checks
+// ctx's deadline every few thousand steps and aborts via
+// faults.CheckDeadline when it expires. It must run under a
+// faults.Run/RunBounded guard when ctx can expire; a nil ctx (or one
+// that never expires) makes it identical to Solve.
+func SolveCtx(ctx context.Context, sys *effects.System) *Result {
 	g := newGraph(sys)
 	s := &solver{
-		g:  g,
-		ls: sys.Locs,
-		in: effects.NewInternerSized(sys.Locs.Len()),
+		g:   g,
+		ls:  sys.Locs,
+		in:  effects.NewInternerSized(sys.Locs.Len()),
+		ctx: ctx,
 	}
 	s.res = &Result{sys: sys, ls: sys.Locs, in: s.in}
 	s.idsByLoc = make([][]effects.ID, sys.Locs.Len())
@@ -304,6 +337,7 @@ func Solve(sys *effects.System) *Result {
 	}
 
 	for {
+		faults.CheckDeadline(s.ctx)
 		s.drain()
 		// Propagation quiesced. If a unification happened, atoms with
 		// stale locations must be re-canonicalized and intersection
@@ -328,6 +362,9 @@ func Solve(sys *effects.System) *Result {
 
 func (s *solver) drain() {
 	for len(s.queue) > 0 {
+		if s.steps++; s.ctx != nil && s.steps%deadlineStride == 0 {
+			faults.CheckDeadline(s.ctx)
+		}
 		it := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
 		s.propagate(it.v, it.id)
