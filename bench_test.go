@@ -16,6 +16,7 @@
 package localalias
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func BenchmarkFigure6(b *testing.B) {
 	}
 	var res *experiments.CorpusResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunCorpus(specs, nil)
+		res = experiments.RunCorpus(context.Background(), experiments.CorpusOptions{Specs: specs})
 	}
 	b.StopTimer()
 	fig := res.Figure6()
@@ -67,7 +68,7 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 	var res *experiments.CorpusResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunCorpus(specs, nil)
+		res = experiments.RunCorpus(context.Background(), experiments.CorpusOptions{Specs: specs})
 	}
 	b.StopTimer()
 	for _, m := range res.Modules {

@@ -33,14 +33,16 @@ import (
 	"localalias/internal/drivergen"
 	"localalias/internal/experiments"
 	"localalias/internal/faults"
+	"localalias/internal/service"
 )
 
-// Exit codes: 0 clean, 1 corpus mismatches, 2 usage/IO errors,
-// 3 degraded run (some module failed or timed out).
+// Exit codes follow the policy table shared with cmd/lna (package
+// service): 0 clean, 1 findings (corpus mismatches), 2 usage/IO
+// errors, 3 degraded run (some module failed or timed out).
 const (
-	exitMismatch = 1
-	exitError    = 2
-	exitDegraded = 3
+	exitMismatch = service.ExitFindings
+	exitError    = service.ExitUsage
+	exitDegraded = service.ExitDegraded
 )
 
 // failureReportSlowest is how many of the slowest surviving modules
@@ -107,8 +109,11 @@ func main() {
 			fmt.Fprintf(progress, "analyzing %d driver modules in three modes...\n", len(specs))
 		}
 		start := time.Now()
-		res = experiments.RunCorpusOpts(context.Background(), specs, progress,
-			experiments.CorpusOptions{ModuleTimeout: *moduleTimeout})
+		res = experiments.RunCorpus(context.Background(), experiments.CorpusOptions{
+			Specs:         specs,
+			Progress:      progress,
+			ModuleTimeout: *moduleTimeout,
+		})
 		if !*quiet {
 			fmt.Fprintf(progress, "done in %v\n", time.Since(start).Round(time.Millisecond))
 			fmt.Fprintf(progress, "solver totals: %s\n\n", res.SolveStats)

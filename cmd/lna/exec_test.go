@@ -1,0 +1,270 @@
+package main
+
+// Process-level tests: they build the real lna and experiments
+// binaries and assert the documented exit-code policy and the serve
+// daemon's wire behaviour, exactly as a user would see them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"localalias/internal/drivergen"
+	"localalias/internal/service"
+)
+
+// buildOnce builds both command binaries into one temp dir, shared by
+// every test in the file.
+var buildOnce = sync.OnceValues(func() (map[string]string, error) {
+	dir, err := os.MkdirTemp("", "lna-exec-test")
+	if err != nil {
+		return nil, err
+	}
+	bins := make(map[string]string)
+	for _, pkg := range []string{"lna", "experiments"} {
+		bin := filepath.Join(dir, pkg)
+		cmd := exec.Command("go", "build", "-o", bin, "localalias/cmd/"+pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("building %s: %v\n%s", pkg, err, out)
+		}
+		bins[pkg] = bin
+	}
+	return bins, nil
+})
+
+func binaries(t *testing.T) map[string]string {
+	t.Helper()
+	bins, err := buildOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bins
+}
+
+// run executes a built binary and returns stdout, stderr, and the
+// exit code.
+func run(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+const fixtureDir = "../../internal/golden/testdata"
+
+// TestExitPolicyAgreement: both binaries follow the one documented
+// exit-code table — 0 clean, 1 findings, 2 usage/IO, 3 degraded — for
+// every outcome class a user can trigger from the command line.
+func TestExitPolicyAgreement(t *testing.T) {
+	bins := binaries(t)
+	clean := filepath.Join(fixtureDir, "clean_annotated.mc")
+	violation := filepath.Join(fixtureDir, "restrict_double.mc")
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want int
+	}{
+		{"lna clean check", "lna", []string{"check", clean}, service.ExitClean},
+		{"lna violation", "lna", []string{"check", violation}, service.ExitFindings},
+		{"lna violation json", "lna", []string{"check", "-json", violation}, service.ExitFindings},
+		{"lna no args", "lna", nil, service.ExitUsage},
+		{"lna unknown subcommand", "lna", []string{"optimize"}, service.ExitUsage},
+		{"lna missing file", "lna", []string{"check", "no_such_file.mc"}, service.ExitUsage},
+		{"lna stranded flag", "lna", []string{"-json"}, service.ExitUsage},
+		{"experiments unknown flag", "experiments", []string{"-no-such-flag"}, service.ExitUsage},
+		{"experiments bad dump dir", "experiments", []string{"-dump", "/dev/null/nope"}, service.ExitUsage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := run(t, bins[tc.bin], tc.args...)
+			if code != tc.want {
+				t.Errorf("%s %v: exit %d, want %d\nstderr: %s", tc.bin, tc.args, code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestCheckJSONIsCanonicalResponse: `lna check -json` emits exactly
+// the canonical AnalyzeResponse the service engine produces.
+func TestCheckJSONIsCanonicalResponse(t *testing.T) {
+	bins := binaries(t)
+	file := filepath.Join(fixtureDir, "clean_annotated.mc")
+	stdout, _, code := run(t, bins["lna"], "check", "-json", file)
+	if code != service.ExitClean {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var resp service.AnalyzeResponse
+	if err := json.Unmarshal([]byte(stdout), &resp); err != nil {
+		t.Fatalf("stdout is not an AnalyzeResponse: %v\n%s", err, stdout)
+	}
+	if resp.APIVersion != service.APIVersion || resp.Mode != service.ModeCheck || !resp.OK {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+// startServe launches `lna serve` on a free port and returns its base
+// URL plus a shutdown function that SIGTERMs the daemon and asserts a
+// clean drain.
+func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The startup banner carries the bound address:
+	// "lna serve listening on http://127.0.0.1:PORT (...)".
+	addrCh := make(chan string, 1)
+	rest := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var line strings.Builder
+		for {
+			n, err := stdout.Read(buf)
+			line.Write(buf[:n])
+			s := line.String()
+			if i := strings.Index(s, "http://"); i >= 0 {
+				if j := strings.IndexAny(s[i+7:], " \n"); j >= 0 {
+					addrCh <- s[i+7 : i+7+j]
+					break
+				}
+			}
+			if err != nil {
+				addrCh <- ""
+				break
+			}
+		}
+		drained, _ := io.ReadAll(stdout)
+		rest <- string(drained)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("lna serve never announced its address\nstderr: %s", stderr.String())
+	}
+	return "http://" + addr, func() {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("serve did not drain cleanly: %v\nstderr: %s", err, stderr.String())
+		}
+		if tail := <-rest; !strings.Contains(tail, "drained") {
+			t.Errorf("drain summary missing from serve output: %q", tail)
+		}
+	}
+}
+
+// TestServeSmoke is the end-to-end daemon exercise the CI smoke job
+// runs: start `lna serve` on a random port, submit a 20-module
+// generated batch twice, and require the second pass to be served at
+// least 90%% from cache; then verify the /v1/analyze body matches
+// `lna check -json` byte for byte, and that SIGTERM drains cleanly.
+func TestServeSmoke(t *testing.T) {
+	bins := binaries(t)
+	base, shutdown := startServe(t, bins["lna"])
+	defer shutdown()
+
+	var batch service.BatchRequest
+	for _, spec := range drivergen.Corpus()[:20] {
+		batch.Requests = append(batch.Requests, service.AnalyzeRequest{
+			Module: spec.Name + ".mc",
+			Source: spec.Source(),
+		})
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(pass int) service.BatchResponse {
+		resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pass %d: status %d: %s", pass, resp.StatusCode, data)
+		}
+		var out service.BatchResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		return out
+	}
+	first := submit(1)
+	if first.Summary.Modules != 20 || first.Summary.Failures != 0 {
+		t.Fatalf("first pass summary = %+v", first.Summary)
+	}
+	second := submit(2)
+	if second.Summary.CacheHits < 18 {
+		t.Errorf("second pass served %d/20 from cache, want >= 18 (90%%)", second.Summary.CacheHits)
+	}
+
+	// The documented curl round-trip: POST the file to /v1/analyze and
+	// get exactly the bytes `lna check -json FILE` prints.
+	file := filepath.Join(fixtureDir, "clean_annotated.mc")
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := json.Marshal(service.AnalyzeRequest{
+		Module:  file,
+		Source:  string(src),
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", httpResp.StatusCode, served)
+	}
+	cliOut, _, code := run(t, bins["lna"], "check", "-json", file)
+	if code != service.ExitClean {
+		t.Fatalf("lna check -json exit %d", code)
+	}
+	if string(served) != cliOut {
+		t.Errorf("served response differs from `lna check -json`:\n--- served\n%s\n--- cli\n%s", served, cliOut)
+	}
+}

@@ -10,6 +10,7 @@
 //	lna fmt FILE            print the program in canonical form
 //	lna run FILE [ARGS...]  interpret FILE's main(int args...) (§3.2)
 //	lna timing MODULE       E4 timing comparison for one corpus module
+//	lna serve               long-running analysis daemon (HTTP/JSON)
 //
 // Flags may appear before or after the subcommand (`lna -json qual
 // f.mc` and `lna qual -json f.mc` are equivalent):
@@ -17,34 +18,53 @@
 //	-params    also infer restrict on ref-typed parameters
 //	-general   exhaustive confine scope search instead of the heuristic
 //	-liberal   check with the liberal §5 restrict-effect semantics
-//	-json      qual: emit the three-mode report as JSON
+//	-json      emit the canonical service.AnalyzeResponse as JSON
+//	           (check/infer/confine/qual)
 //
-// A panic anywhere in the analysis pipeline is reported as a
-// positioned internal-error diagnostic naming the failing phase, not
-// a raw Go stack trace.
+// Serve flags:
+//
+//	-addr            listen address (default 127.0.0.1:8347; port 0
+//	                 picks a free port, printed on startup)
+//	-workers         analysis pool size (0 = GOMAXPROCS)
+//	-cache-entries   LRU result-cache capacity
+//	-queue-depth     max in-flight single requests before 429
+//	-request-timeout per-module analysis deadline
+//
+// The analysis subcommands and the daemon share one engine and one
+// response shape (package service): `lna check -json FILE` emits
+// byte-for-byte the JSON that POST /v1/analyze returns for the same
+// module. Exit codes follow the shared policy: 0 clean, 1 findings,
+// 2 usage/IO error, 3 degraded (a contained panic, timeout, or
+// internal inconsistency — reported as a structured failure, never a
+// raw Go stack trace).
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"localalias/internal/ast"
 	"localalias/internal/core"
 	"localalias/internal/experiments"
 	"localalias/internal/faults"
 	"localalias/internal/interp"
-	"localalias/internal/qual"
-	"localalias/internal/restrict"
+	"localalias/internal/service"
 )
 
 // subcommands names every lna subcommand, for validation and the
 // misplaced-flag error.
-var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing"}
+var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing", "serve"}
+
+// analysisModes are the subcommands served by the shared service
+// engine (and therefore by `lna serve`).
+var analysisModes = map[string]bool{"check": true, "infer": true, "confine": true, "qual": true}
 
 // splitCommand locates the subcommand in the raw argument list: the
 // first token that is not a flag. Flags on either side of it are
@@ -68,12 +88,23 @@ func splitCommand(args []string) (cmd string, rest []string, err error) {
 	return "", nil, fmt.Errorf("no subcommand given")
 }
 
+// options carries the parsed flags into the subcommand bodies.
+type options struct {
+	params, general, liberal, asJSON bool
+
+	addr           string
+	workers        int
+	cacheEntries   int
+	queueDepth     int
+	requestTimeout time.Duration
+}
+
 func main() {
 	cmd, rest, err := splitCommand(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lna:", err)
 		usage()
-		os.Exit(2)
+		os.Exit(service.ExitUsage)
 	}
 	known := false
 	for _, s := range subcommands {
@@ -82,26 +113,35 @@ func main() {
 	if !known {
 		fmt.Fprintf(os.Stderr, "lna: unknown subcommand %q\n", cmd)
 		usage()
-		os.Exit(2)
+		os.Exit(service.ExitUsage)
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
-	params := fs.Bool("params", false, "also infer restrict on ref-typed parameters")
-	general := fs.Bool("general", false, "exhaustive confine scope search")
-	liberal := fs.Bool("liberal", false, "check with the liberal §5 restrict-effect semantics")
-	asJSON := fs.Bool("json", false, "qual: emit the three-mode report as JSON")
+	var opt options
+	fs.BoolVar(&opt.params, "params", false, "also infer restrict on ref-typed parameters")
+	fs.BoolVar(&opt.general, "general", false, "exhaustive confine scope search")
+	fs.BoolVar(&opt.liberal, "liberal", false, "check with the liberal §5 restrict-effect semantics")
+	fs.BoolVar(&opt.asJSON, "json", false, "emit the canonical AnalyzeResponse as JSON")
+	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8347", "serve: listen address (port 0 picks a free port)")
+	fs.IntVar(&opt.workers, "workers", 0, "serve: analysis pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.cacheEntries, "cache-entries", service.DefaultCacheEntries, "serve: LRU result-cache capacity")
+	fs.IntVar(&opt.queueDepth, "queue-depth", 0, "serve: max in-flight single requests before 429 (0 = 4×workers)")
+	fs.DurationVar(&opt.requestTimeout, "request-timeout", service.DefaultRequestTimeout, "serve: per-module analysis deadline")
 	if err := fs.Parse(rest); err != nil {
 		// The flag package has already printed the offending flag and
 		// the flag set's usage.
-		os.Exit(2)
+		os.Exit(service.ExitUsage)
 	}
 	args := fs.Args()
-	if len(args) < 1 {
-		usage()
-		os.Exit(2)
-	}
 
-	if cmd == "timing" {
+	switch {
+	case cmd == "serve":
+		os.Exit(runServe(opt))
+	case cmd == "timing":
+		if len(args) < 1 {
+			usage()
+			os.Exit(service.ExitUsage)
+		}
 		tr, err := experiments.Timing(args[0], 5)
 		if err != nil {
 			fatal(err)
@@ -110,32 +150,168 @@ func main() {
 		return
 	}
 
+	if len(args) < 1 {
+		usage()
+		os.Exit(service.ExitUsage)
+	}
 	file := args[0]
 	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
 	}
 
-	// Run the whole pipeline under the fault guard: a panic in any
-	// phase becomes a structured failure reported below, after any
-	// positioned diagnostics accumulated before the fault.
+	if analysisModes[cmd] {
+		os.Exit(runAnalysis(cmd, file, string(src), opt))
+	}
+	os.Exit(runLocal(cmd, file, string(src), args))
+}
+
+// runAnalysis drives check/infer/confine/qual through the shared
+// service engine — the same code path `lna serve` and the experiment
+// driver use — and renders the response for humans or as canonical
+// JSON. The returned exit code follows the shared policy table.
+func runAnalysis(cmd, file, src string, opt options) int {
+	resp := service.Analyze(context.Background(), &service.AnalyzeRequest{
+		Module: file,
+		Source: src,
+		Options: service.AnalyzeOptions{
+			Mode:    cmd,
+			General: opt.general,
+			Params:  opt.params,
+			Liberal: opt.liberal,
+		},
+	})
+	if opt.asJSON {
+		data, err := resp.MarshalCanonical()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		return resp.ExitCode()
+	}
+	renderResponse(cmd, resp)
+	return resp.ExitCode()
+}
+
+// renderResponse prints the human-readable report for one analysis
+// response: positioned diagnostics with excerpts first, then the
+// mode-specific report, then (on stderr) any contained failure.
+func renderResponse(cmd string, resp *service.AnalyzeResponse) {
+	if resp.Raw != nil {
+		fmt.Print(resp.Raw.RenderAll())
+	}
+	switch {
+	case resp.Failure != nil:
+		f := resp.Failure
+		if f.Kind == faults.KindPanic {
+			fmt.Fprintf(os.Stderr, "lna: %s: internal error during %s: panic: %s\n",
+				resp.Module, f.Phase, f.Message)
+			if top := faults.TopFrame(f.Stack); top != "" {
+				fmt.Fprintf(os.Stderr, "    at %s\n", top)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "lna: %s\n", f.Error())
+		}
+		return
+	case resp.Check != nil:
+		if resp.Check.OK {
+			fmt.Println("ok: all restrict/confine annotations verified")
+			if resp.Check.UsedFigure5 {
+				fmt.Println("(checked with the O(kn) Figure 5 algorithm)")
+			}
+		}
+	case resp.Infer != nil:
+		fmt.Printf("restrict inference: %d of %d candidates restricted\n",
+			resp.Infer.Restricted, resp.Infer.Candidates)
+		for _, m := range resp.Infer.Marked {
+			fmt.Printf("  restrict %s\n", m)
+		}
+		for _, r := range resp.Infer.Rejected {
+			fmt.Printf("  keep     %s\n", r)
+		}
+		fmt.Println("--- annotated program ---")
+		fmt.Print(resp.Program)
+	case cmd == "confine" && resp.Locking != nil:
+		fmt.Printf("confine inference: planted %d candidate(s), kept %d\n",
+			resp.Locking.Planted, resp.Locking.Kept)
+		fmt.Println("--- transformed program ---")
+		fmt.Print(resp.Program)
+	case resp.Locking != nil:
+		report := func(name string, r service.ModeReport) {
+			fmt.Printf("%-18s %3d type error(s) at %d lock-op site(s)\n",
+				name+":", r.NumErrors, resp.Locking.Sites)
+			for _, e := range r.Errors {
+				fmt.Printf("    %s: %s\n", e.Pos, e.Message)
+			}
+		}
+		report("no confine", resp.Locking.NoConfine)
+		report("confine inference", resp.Locking.WithConfine)
+		report("all-strong bound", resp.Locking.AllStrong)
+	}
+}
+
+// runServe starts the resident analysis daemon and blocks until
+// SIGINT/SIGTERM, then drains gracefully.
+func runServe(opt options) int {
+	srv := service.NewServer(service.ServerOptions{
+		Workers:        opt.workers,
+		CacheEntries:   opt.cacheEntries,
+		QueueDepth:     opt.queueDepth,
+		RequestTimeout: opt.requestTimeout,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := srv.ListenAndServe(ctx, opt.addr, func(bound string) {
+		o := srv.Options()
+		fmt.Printf("lna serve listening on http://%s (workers=%d cache=%d queue=%d timeout=%v)\n",
+			bound, o.Workers, o.CacheEntries, o.QueueDepth, o.RequestTimeout)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lna: serve:", err)
+		return service.ExitUsage
+	}
+	cs := srv.CacheStats()
+	fmt.Printf("lna serve drained (cache: %d hits, %d misses, %d evictions)\n",
+		cs.Hits, cs.Misses, cs.Evictions)
+	return service.ExitClean
+}
+
+// runLocal executes the subcommands that do not go through the
+// analysis engine (fmt, run) under the fault guard, so a panic still
+// degrades to a structured report.
+func runLocal(cmd, file, src string, args []string) int {
 	tr := faults.NewTrace(file)
 	var mod *core.Module
+	code := service.ExitClean
 	fail := faults.Run(file, tr, func() error {
-		m, err := core.LoadModuleTraced(file, string(src), tr)
+		m, err := core.LoadModuleTraced(file, src, tr)
+		mod = m
 		if err != nil {
 			return err
 		}
-		mod = m
-		return runCommand(cmd, mod, args, options{
-			params:  *params,
-			general: *general,
-			liberal: *liberal,
-			asJSON:  *asJSON,
-		})
+		switch cmd {
+		case "fmt":
+			_ = ast.Fprint(os.Stdout, mod.Prog)
+		case "run":
+			var vals []interp.Value
+			for _, a := range args[1:] {
+				n, err := strconv.ParseInt(a, 10, 64)
+				if err != nil {
+					return fmt.Errorf("argument %q is not an integer", a)
+				}
+				vals = append(vals, n)
+			}
+			in := interp.New(mod.TInfo, interp.Options{Out: os.Stdout})
+			v, err := in.Call("main", vals...)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("=> %s\n", interp.FormatValue(v))
+		}
+		return nil
 	})
 	if fail == nil {
-		return
+		return code
 	}
 	if fail.Kind == faults.KindPanic {
 		if mod != nil {
@@ -146,141 +322,17 @@ func main() {
 		if top := faults.TopFrame(fail.Stack); top != "" {
 			fmt.Fprintf(os.Stderr, "    at %s\n", top)
 		}
-		os.Exit(1)
+		return service.ExitDegraded
 	}
 	fmt.Fprintln(os.Stderr, "lna:", fail.Message)
-	os.Exit(1)
-}
-
-// options carries the parsed flags into the subcommand bodies.
-type options struct {
-	params, general, liberal, asJSON bool
-}
-
-// runCommand executes one per-file subcommand. It runs inside the
-// fault guard, so it may panic-free return an error (reported like
-// any analysis failure) or exit directly for expected non-zero
-// outcomes such as verification failures.
-func runCommand(cmd string, mod *core.Module, args []string, opt options) error {
-	switch cmd {
-	case "check":
-		r := restrict.CheckWith(mod.TInfo, mod.Diags, restrict.CheckOptions{Liberal: opt.liberal})
-		fmt.Print(mod.Diags.RenderAll())
-		if r.OK() {
-			fmt.Println("ok: all restrict/confine annotations verified")
-			if r.UsedFigure5 {
-				fmt.Println("(checked with the O(kn) Figure 5 algorithm)")
-			}
-		} else {
-			os.Exit(1)
-		}
-
-	case "infer":
-		r := mod.InferRestrict(opt.params)
-		fmt.Print(r.Summary())
-		fmt.Println("--- annotated program ---")
-		_ = ast.Fprint(os.Stdout, mod.Prog)
-		if len(r.Violations) > 0 {
-			os.Exit(1)
-		}
-
-	case "confine":
-		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: opt.general})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("confine inference: planted %d candidate(s), kept %d\n",
-			lr.Confine.Planted, len(lr.Confine.Kept))
-		fmt.Println("--- transformed program ---")
-		_ = ast.Fprint(os.Stdout, mod.Prog)
-
-	case "qual":
-		lr, err := mod.AnalyzeLocking(core.LockingOptions{General: opt.general})
-		if err != nil {
-			return err
-		}
-		if opt.asJSON {
-			return writeJSONReport(os.Stdout, mod, lr)
-		}
-		report := func(name string, r *qual.Report) {
-			fmt.Printf("%-18s %3d type error(s) at %d lock-op site(s)\n",
-				name+":", r.NumErrors(), r.NumSites)
-			for _, e := range r.Errors {
-				pos := mod.Prog.File.Position(e.Site.Start)
-				fmt.Printf("    %s: %s\n", pos, e.String())
-			}
-		}
-		report("no confine", lr.NoConfine)
-		report("confine inference", lr.WithConfine)
-		report("all-strong bound", lr.AllStrong)
-
-	case "fmt":
-		_ = ast.Fprint(os.Stdout, mod.Prog)
-
-	case "run":
-		var vals []interp.Value
-		for _, a := range args[1:] {
-			n, err := strconv.ParseInt(a, 10, 64)
-			if err != nil {
-				return fmt.Errorf("argument %q is not an integer", a)
-			}
-			vals = append(vals, n)
-		}
-		in := interp.New(mod.TInfo, interp.Options{Out: os.Stdout})
-		v, err := in.Call("main", vals...)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("=> %s\n", interp.FormatValue(v))
-	}
-	return nil
-}
-
-// jsonError is one site error in -json output.
-type jsonError struct {
-	Pos  string `json:"pos"`
-	Op   string `json:"op"`
-	Want string `json:"want"`
-	Got  string `json:"got"`
-}
-
-func jsonErrors(mod *core.Module, r *qual.Report) []jsonError {
-	out := []jsonError{}
-	for _, e := range r.Errors {
-		out = append(out, jsonError{
-			Pos:  mod.Prog.File.Position(e.Site.Start).String(),
-			Op:   e.Op,
-			Want: e.Want.String(),
-			Got:  e.Got.String(),
-		})
-	}
-	return out
-}
-
-func writeJSONReport(w io.Writer, mod *core.Module, lr *core.LockingResult) error {
-	payload := map[string]any{
-		"module":     mod.Name,
-		"sites":      lr.NoConfine.NumSites,
-		"planted":    lr.Confine.Planted,
-		"kept":       len(lr.Confine.Kept),
-		"potential":  lr.Potential(),
-		"eliminated": lr.Eliminated(),
-		"modes": map[string]any{
-			"no_confine":        jsonErrors(mod, lr.NoConfine),
-			"confine_inference": jsonErrors(mod, lr.WithConfine),
-			"all_strong":        jsonErrors(mod, lr.AllStrong),
-		},
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(payload)
+	return service.ExitFindings
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lna:", err)
-	os.Exit(1)
+	os.Exit(service.ExitUsage)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing> [flags] FILE [args...]`)
+	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing|serve> [flags] [FILE] [args...]`)
 }

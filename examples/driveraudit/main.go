@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"localalias/internal/drivergen"
@@ -30,7 +31,7 @@ func main() {
 		picks = append(picks, byName[row.Name])
 	}
 
-	res := experiments.RunCorpus(picks, nil)
+	res := experiments.RunCorpus(context.Background(), experiments.CorpusOptions{Specs: picks})
 	fmt.Printf("%-16s %-14s %8s %8s %8s %9s %6s\n",
 		"module", "category", "no-inf", "confine", "strong", "eliminated", "kept")
 	for _, m := range res.Modules {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"localalias/internal/ast"
+	"localalias/internal/effects"
 	"localalias/internal/faults"
 	"localalias/internal/infer"
 	"localalias/internal/solve"
@@ -116,11 +117,7 @@ func InferAndApply(prog *ast.Program, diags *source.Diagnostics, opts Options) (
 	}
 	opts.Trace.Enter(faults.PhaseSolve)
 	res.Solution = solve.SolveCtx(opts.Ctx, res.Infer.Sys)
-	if mal := res.Solution.Malformed(); len(mal) != 0 {
-		for _, x := range mal {
-			diags.Errorf(prog.File, x.Site, "effects",
-				"internal error: unknown effect expression %s (constraint dropped)", x.Desc)
-		}
+	if effects.ReportMalformed(diags, prog.File, res.Solution.Malformed()) {
 		return res, fmt.Errorf("confine: %w", diags.Err())
 	}
 	res.Violations = res.Solution.Violations()

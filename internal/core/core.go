@@ -49,19 +49,25 @@ func LoadModule(name, src string) (*Module, error) {
 // LoadModuleTraced is LoadModule with phase tracking: tr (when
 // non-nil) records the parse and typecheck phases so a fault inside
 // either is attributed correctly.
+//
+// On failure the returned module is still non-nil: it carries the
+// name and the positioned diagnostics accumulated before the failing
+// phase (Prog and TInfo may be nil), so callers can render excerpts
+// or ship the diagnostics over the service API instead of losing them
+// to a bare error string.
 func LoadModuleTraced(name, src string, tr *faults.Trace) (*Module, error) {
-	diags := &source.Diagnostics{}
+	m := &Module{Name: name, Diags: &source.Diagnostics{}}
 	tr.Enter(faults.PhaseParse)
-	prog := parser.Parse(name, src, diags)
-	if diags.HasErrors() {
-		return nil, fmt.Errorf("%s: %w", name, diags.Err())
+	m.Prog = parser.Parse(name, src, m.Diags)
+	if m.Diags.HasErrors() {
+		return m, fmt.Errorf("%s: %w", name, m.Diags.Err())
 	}
 	tr.Enter(faults.PhaseTypecheck)
-	tinfo := types.Check(prog, diags)
-	if diags.HasErrors() {
-		return nil, fmt.Errorf("%s: %w", name, diags.Err())
+	m.TInfo = types.Check(m.Prog, m.Diags)
+	if m.Diags.HasErrors() {
+		return m, fmt.Errorf("%s: %w", name, m.Diags.Err())
 	}
-	return &Module{Name: name, Prog: prog, TInfo: tinfo, Diags: diags}, nil
+	return m, nil
 }
 
 // CheckAnnotations verifies the module's explicit restrict/confine
@@ -184,15 +190,11 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 // into positioned internal-error diagnostics and a module-failing
 // error. A healthy build never reaches this path; it exists so an
 // effects-language extension missing a Normalize case degrades to one
-// failed module instead of a crashed corpus run.
+// failed module instead of a crashed corpus run. The diagnostic
+// wording is shared with confine via effects.ReportMalformed.
 func (m *Module) reportMalformed(mal []effects.MalformedExpr) error {
-	if len(mal) == 0 {
+	if !effects.ReportMalformed(m.Diags, m.Prog.File, mal) {
 		return nil
-	}
-	for _, x := range mal {
-		m.Diags.Errorf(m.Prog.File, x.Site, "effects",
-			"internal error: unknown effect expression %s in a constraint on %s (constraint dropped)",
-			x.Desc, "ε"+fmt.Sprint(x.V))
 	}
 	return fmt.Errorf("%s: %w", m.Name, m.Diags.Err())
 }

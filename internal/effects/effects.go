@@ -285,6 +285,22 @@ type MalformedExpr struct {
 	Site source.Span
 }
 
+// ReportMalformed records one positioned internal-error diagnostic
+// per dropped constraint. It is the single rendering of this failure
+// shared by every pipeline driver (core, confine): a healthy build
+// never produces malformed constraints, so when one appears the
+// wording — and the phase it is filed under — must not depend on
+// which entry point noticed it. It reports whether anything was
+// recorded.
+func ReportMalformed(ds *source.Diagnostics, f *source.File, mal []MalformedExpr) bool {
+	for _, x := range mal {
+		ds.Errorf(f, x.Site, "effects",
+			"internal error: unknown effect expression %s in a constraint on ε%d (constraint dropped)",
+			x.Desc, int(x.V))
+	}
+	return len(mal) > 0
+}
+
 // VarIncl is the dense representation of From ⊆ To.
 type VarIncl struct {
 	From, To Var

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -65,7 +66,7 @@ func BenchCorpusSummary(b *testing.B) {
 	specs := drivergen.Corpus()
 	var res *CorpusResult
 	for i := 0; i < b.N; i++ {
-		res = RunCorpus(specs, nil)
+		res = RunCorpus(context.Background(), CorpusOptions{Specs: specs})
 	}
 	b.StopTimer()
 	if res.Degraded() {

@@ -35,6 +35,7 @@ import (
 	"localalias/internal/faults"
 	"localalias/internal/infer"
 	"localalias/internal/qual"
+	"localalias/internal/service"
 	"localalias/internal/solve"
 )
 
@@ -42,9 +43,15 @@ import (
 type ModuleResult struct {
 	Spec     *drivergen.ModuleSpec
 	Measured drivergen.Triple
+	// Response is the canonical service-layer result the measurement
+	// was read from — the same shape `lna check -json` and the daemon
+	// emit, so per-module corpus results can ship over the wire
+	// unchanged.
+	Response *service.AnalyzeResponse
 	// Planted/Kept count confine? candidates inserted and retained.
 	Planted, Kept int
-	// AnalyzeTime covers the three-mode analysis.
+	// AnalyzeTime covers the module end to end (generation through
+	// qualifier analysis).
 	AnalyzeTime time.Duration
 	// SolveStats aggregates the solver work counters over the
 	// module's two solves.
@@ -140,67 +147,71 @@ func (r *CorpusResult) PhaseFailures() map[faults.Phase]int {
 // a chosen module panic or stall without touching the real pipeline.
 var testFaultHook func(ctx context.Context, spec *drivergen.ModuleSpec)
 
-// analyzeSpec measures one module under the fault-containment guard:
+// analyzeSpec measures one module through the shared service engine:
 // a panic anywhere in generation, loading, or analysis becomes a
 // structured ModuleFailure, and timeout (when non-zero) bounds the
 // module's wall-clock time so one pathological constraint system
-// cannot stall a worker.
+// cannot stall a worker. The corpus driver, the lna subcommands, and
+// the `lna serve` daemon therefore measure exactly the same pipeline.
 func analyzeSpec(ctx context.Context, spec *drivergen.ModuleSpec, timeout time.Duration) *ModuleResult {
 	out := &ModuleResult{Spec: spec}
-	tr := faults.NewTrace(spec.Name)
-	start := time.Now()
-	// The closure writes only these locals; they are read back only
-	// on success, so an abandoned (timed-out) goroutine that is still
-	// running cannot race with the worker.
-	var (
-		measured      drivergen.Triple
-		planted, kept int
-		stats         solve.Stats
-		analyzeTime   time.Duration
-	)
-	fail := faults.RunBounded(ctx, spec.Name, timeout, tr, func(ctx context.Context) error {
-		tr.Enter(faults.PhaseGenerate)
-		if testFaultHook != nil {
-			testFaultHook(ctx, spec)
+	resp := service.AnalyzeBounded(ctx, &service.AnalyzeRequest{
+		Module:  spec.Name + ".mc",
+		Options: service.AnalyzeOptions{Mode: service.ModeQual},
+		// Source generation runs inside the fault guard (attributed to
+		// the generate phase), with the fault-injection seam in front.
+		Generate: func(ctx context.Context) string {
+			if testFaultHook != nil {
+				testFaultHook(ctx, spec)
+			}
+			return spec.Source()
+		},
+	}, timeout)
+	out.Response = resp
+	out.PhaseTimings = resp.PhaseTimings
+	out.AnalyzeTime = resp.Elapsed
+	if resp.Failure == nil && resp.Locking == nil {
+		// The generated source failed to parse or type check —
+		// impossible in a healthy generator, so degrade it like any
+		// other contained failure rather than treating the module as
+		// silently analyzed.
+		msg := "module produced no locking report"
+		if resp.Raw != nil && resp.Raw.HasErrors() {
+			msg = resp.Raw.Err().Error()
 		}
-		src := spec.Source()
-		mod, err := core.LoadModuleTraced(spec.Name+".mc", src, tr)
-		if err != nil {
-			return err
+		resp.Failure = &faults.ModuleFailure{
+			Module: spec.Name, Phase: faults.PhaseTypecheck,
+			Kind: faults.KindError, Message: msg, Elapsed: resp.Elapsed,
 		}
-		t0 := time.Now()
-		lr, err := mod.AnalyzeLockingCtx(ctx, core.LockingOptions{}, tr)
-		analyzeTime = time.Since(t0)
-		if err != nil {
-			return err
-		}
-		measured = drivergen.Triple{
-			NoConfine: lr.NoConfine.NumErrors(),
-			Confine:   lr.WithConfine.NumErrors(),
-			AllStrong: lr.AllStrong.NumErrors(),
-		}
-		planted = lr.Confine.Planted
-		kept = len(lr.Confine.Kept)
-		stats = lr.SolveStats
-		return nil
-	})
-	out.PhaseTimings = tr.Timings()
-	if fail != nil {
-		out.Failure = fail
-		out.Err = fail
-		out.AnalyzeTime = time.Since(start)
+	}
+	if resp.Failure != nil {
+		// Corpus failure reports identify modules by spec name (no .mc
+		// suffix), as the degraded-run summaries always have.
+		resp.Failure.Module = spec.Name
+		out.Failure = resp.Failure
+		out.Err = resp.Failure
 		return out
 	}
-	out.Measured = measured
-	out.Planted = planted
-	out.Kept = kept
-	out.SolveStats = stats
-	out.AnalyzeTime = analyzeTime
+	out.Measured = drivergen.Triple{
+		NoConfine: resp.Locking.NoConfine.NumErrors,
+		Confine:   resp.Locking.WithConfine.NumErrors,
+		AllStrong: resp.Locking.AllStrong.NumErrors,
+	}
+	out.Planted = resp.Locking.Planted
+	out.Kept = resp.Locking.Kept
+	out.SolveStats = resp.Diagnostics.Stats
 	return out
 }
 
-// CorpusOptions configures a corpus run's fault-containment policy.
+// CorpusOptions configures a corpus run: what to analyze, where to
+// report progress, and the fault-containment policy.
 type CorpusOptions struct {
+	// Specs is the corpus to analyze (pass drivergen.Corpus() for the
+	// full experiment).
+	Specs []*drivergen.ModuleSpec
+	// Progress, when non-nil, receives progress lines, including a
+	// final "589/589" flush.
+	Progress io.Writer
 	// ModuleTimeout bounds each module's end-to-end analysis
 	// (generation through qualifier analysis). Zero means no
 	// per-module deadline. A module that exceeds it is reported as
@@ -208,26 +219,19 @@ type CorpusOptions struct {
 	ModuleTimeout time.Duration
 }
 
-// RunCorpus analyzes the given specs (pass drivergen.Corpus() for the
-// full experiment) on a fixed pool of one worker per CPU, with no
-// per-module deadline. See RunCorpusOpts.
-func RunCorpus(specs []*drivergen.ModuleSpec, progress io.Writer) *CorpusResult {
-	return RunCorpusOpts(context.Background(), specs, progress, CorpusOptions{})
-}
-
-// RunCorpusOpts analyzes the given specs on a fixed pool of one
-// worker per CPU. Workers pull the next module off a shared atomic
-// counter, so the scheduler never sees more than NumCPU analysis
-// goroutines at once. Each module runs under a fault-containment
-// guard: a panic or deadline expiry fails that module (recorded in
-// the result's Failures) while the rest of the corpus completes — the
-// paper's 589-driver sweep degrades instead of crashing. Progress
-// lines go to progress when non-nil, including a final "589/589"
-// flush. Cancelling ctx stops workers between modules.
-func RunCorpusOpts(ctx context.Context, specs []*drivergen.ModuleSpec, progress io.Writer, opts CorpusOptions) *CorpusResult {
+// RunCorpus analyzes opts.Specs on a fixed pool of one worker per
+// CPU. Workers pull the next module off a shared atomic counter, so
+// the scheduler never sees more than NumCPU analysis goroutines at
+// once. Each module runs under a fault-containment guard: a panic or
+// deadline expiry fails that module (recorded in the result's
+// Failures) while the rest of the corpus completes — the paper's
+// 589-driver sweep degrades instead of crashing. Cancelling ctx stops
+// workers between modules.
+func RunCorpus(ctx context.Context, opts CorpusOptions) *CorpusResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	specs, progress := opts.Specs, opts.Progress
 	results := make([]*ModuleResult, len(specs))
 	nw := runtime.NumCPU()
 	if nw > len(specs) {
@@ -256,6 +260,16 @@ func RunCorpusOpts(ctx context.Context, specs []*drivergen.ModuleSpec, progress 
 		fmt.Fprintf(progress, "  ...%d/%d modules\n", len(specs), len(specs))
 	}
 	return aggregate(results)
+}
+
+// RunCorpusOpts analyzes specs with the given progress writer.
+//
+// Deprecated: use RunCorpus(ctx, CorpusOptions{...}); this wrapper
+// survives one release for the PR-2 call sites.
+func RunCorpusOpts(ctx context.Context, specs []*drivergen.ModuleSpec, progress io.Writer, opts CorpusOptions) *CorpusResult {
+	opts.Specs = specs
+	opts.Progress = progress
+	return RunCorpus(ctx, opts)
 }
 
 func aggregate(results []*ModuleResult) *CorpusResult {

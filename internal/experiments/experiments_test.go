@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func sampleSpecs() []*drivergen.ModuleSpec {
 
 func TestSampleCorpusMatchesExpectations(t *testing.T) {
 	specs := sampleSpecs()
-	res := RunCorpus(specs, nil)
+	res := RunCorpus(context.Background(), CorpusOptions{Specs: specs})
 	if res.Mismatches != 0 {
 		for _, m := range res.Modules {
 			if m.Err != nil {
@@ -53,7 +54,7 @@ func TestFullCorpus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 589-module corpus (use the default long mode or cmd/experiments)")
 	}
-	res := RunCorpus(drivergen.Corpus(), nil)
+	res := RunCorpus(context.Background(), CorpusOptions{Specs: drivergen.Corpus()})
 	if res.Mismatches != 0 {
 		n := 0
 		for _, m := range res.Modules {
@@ -87,7 +88,7 @@ func TestFullCorpus(t *testing.T) {
 }
 
 func TestRenderings(t *testing.T) {
-	res := RunCorpus(sampleSpecs(), nil)
+	res := RunCorpus(context.Background(), CorpusOptions{Specs: sampleSpecs()})
 	sum := res.Summary()
 	for _, want := range []string{"Section 7 summary", "elimination rate", "paper"} {
 		if !strings.Contains(sum, want) {
@@ -127,8 +128,8 @@ func TestTiming(t *testing.T) {
 
 func TestRunCorpusDeterministic(t *testing.T) {
 	specs := sampleSpecs()[:12]
-	a := RunCorpus(specs, nil)
-	b := RunCorpus(specs, nil)
+	a := RunCorpus(context.Background(), CorpusOptions{Specs: specs})
+	b := RunCorpus(context.Background(), CorpusOptions{Specs: specs})
 	for i := range a.Modules {
 		if a.Modules[i].Measured != b.Modules[i].Measured {
 			t.Errorf("%s: %+v vs %+v", a.Modules[i].Spec.Name,
@@ -141,7 +142,7 @@ func TestRunCorpusDeterministic(t *testing.T) {
 }
 
 func TestCSV(t *testing.T) {
-	res := RunCorpus(sampleSpecs()[:5], nil)
+	res := RunCorpus(context.Background(), CorpusOptions{Specs: sampleSpecs()[:5]})
 	csv := res.CSV()
 	if !strings.HasPrefix(csv, "module,category,") {
 		t.Errorf("csv header: %q", csv[:40])

@@ -22,7 +22,7 @@ func TestCorpusFaultInjection(t *testing.T) {
 
 	// Healthy baseline over the same slice, for the survivors'
 	// determinism check.
-	baseline := RunCorpus(specs, nil)
+	baseline := RunCorpus(context.Background(), CorpusOptions{Specs: specs})
 	if baseline.Degraded() {
 		t.Fatalf("baseline run degraded: %d failed, %d timed out", baseline.Failed, baseline.TimedOut)
 	}
@@ -44,8 +44,10 @@ func TestCorpusFaultInjection(t *testing.T) {
 	}
 	defer func() { testFaultHook = nil }()
 
-	res := RunCorpusOpts(context.Background(), specs, nil,
-		CorpusOptions{ModuleTimeout: 300 * time.Millisecond})
+	res := RunCorpus(context.Background(), CorpusOptions{
+		Specs:         specs,
+		ModuleTimeout: 300 * time.Millisecond,
+	})
 
 	if len(res.Modules) != len(specs) {
 		t.Fatalf("got %d module results, want %d", len(res.Modules), len(specs))

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// CacheKey derives the content-hash cache key of a request: the
+// SHA-256 (hex) over the API version, module name, analysis options,
+// and full source text, with NUL separators so no two field layouts
+// collide. Identical submissions — same name, same bytes, same
+// options — therefore share one key across time, and any change to
+// any input yields a fresh one.
+//
+// Requests carrying a Generate closure have no content to hash until
+// the guard runs; callers must not cache them (the Server never sees
+// such requests, since Generate is not serializable).
+func CacheKey(req *AnalyzeRequest) string {
+	mode := req.Options.Mode
+	if mode == "" {
+		mode = ModeQual
+	}
+	var flags byte
+	if req.Options.General {
+		flags |= 1 << 0
+	}
+	if req.Options.Params {
+		flags |= 1 << 1
+	}
+	if req.Options.Liberal {
+		flags |= 1 << 2
+	}
+	h := sha256.New()
+	for _, part := range []string{"lna/" + APIVersion, req.Module, mode, string([]byte{flags}), req.Source} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a snapshot of the cache's accounting.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a bounded LRU mapping cache keys to canonical response
+// bytes. It is safe for concurrent use. The values are the exact
+// bytes the cold run produced, so a hit replays them byte-identically.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache holding at most capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached bytes for key, marking the entry most
+// recently used. The second result reports whether it was present.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry if
+// the cache is full. Re-putting an existing key refreshes its value
+// and recency.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+const cleanCheckSrc = `fun f(x: ref int): int {
+    restrict y = x {
+        return *y;
+    }
+    return 0;
+}
+`
+
+// TestCacheKeySensitivity: every input of the content hash — module
+// name, source bytes, mode, and each option flag — must change the
+// key, and identical requests must share one.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := AnalyzeRequest{Module: "m.mc", Source: "fun f() {}\n",
+		Options: AnalyzeOptions{Mode: ModeCheck}}
+	if got, want := CacheKey(&base), CacheKey(&base); got != want {
+		t.Fatalf("identical requests hash differently: %s vs %s", got, want)
+	}
+	variants := map[string]AnalyzeRequest{
+		"module":  {Module: "other.mc", Source: base.Source, Options: base.Options},
+		"source":  {Module: base.Module, Source: base.Source + " ", Options: base.Options},
+		"mode":    {Module: base.Module, Source: base.Source, Options: AnalyzeOptions{Mode: ModeInfer}},
+		"general": {Module: base.Module, Source: base.Source, Options: AnalyzeOptions{Mode: ModeCheck, General: true}},
+		"params":  {Module: base.Module, Source: base.Source, Options: AnalyzeOptions{Mode: ModeCheck, Params: true}},
+		"liberal": {Module: base.Module, Source: base.Source, Options: AnalyzeOptions{Mode: ModeCheck, Liberal: true}},
+	}
+	baseKey := CacheKey(&base)
+	seen := map[string]string{"base": baseKey}
+	for name, v := range variants {
+		k := CacheKey(&v)
+		if k == baseKey {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variants %s and %s collide on key %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+	// "" selects qual, so it must share qual's key.
+	dflt := AnalyzeRequest{Module: "m.mc", Source: base.Source}
+	qual := AnalyzeRequest{Module: "m.mc", Source: base.Source,
+		Options: AnalyzeOptions{Mode: ModeQual}}
+	if CacheKey(&dflt) != CacheKey(&qual) {
+		t.Error(`mode "" and mode "qual" should share a cache key`)
+	}
+}
+
+// TestCacheHitMissAccounting: gets and puts keep exact counters.
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get on an empty cache reported a hit")
+	}
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v; want 1, true", v, ok)
+	}
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 0 || st.Entries != 1 || st.Capacity != 4 {
+		t.Errorf("stats = %+v; want hits=1 misses=2 evictions=0 entries=1 capacity=4", st)
+	}
+}
+
+// TestCacheEviction: a capacity-2 cache drops the least recently used
+// entry, and recency is refreshed by both Get and re-Put.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a")              // a is now most recently used
+	c.Put("c", []byte("3")) // must evict b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order ignores Get recency")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite being most recently used")
+	}
+	c.Put("a", []byte("1*")) // refresh, no eviction
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v; want evictions=1 entries=2", st)
+	}
+	if v, _ := c.Get("a"); string(v) != "1*" {
+		t.Errorf("re-Put did not refresh the value: got %q", v)
+	}
+}
+
+// TestCacheMinimumCapacity: capacity below 1 is clamped, not rejected.
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if st := c.Stats(); st.Entries != 1 || st.Capacity != 1 {
+		t.Errorf("stats = %+v; want entries=1 capacity=1", st)
+	}
+}
+
+// TestResponseDeterminism: two cold runs of the same request render
+// byte-identical canonical JSON — the property that makes serving a
+// cache hit indistinguishable from re-running the analysis.
+func TestResponseDeterminism(t *testing.T) {
+	for _, mode := range []string{ModeCheck, ModeInfer, ModeConfine, ModeQual} {
+		req := &AnalyzeRequest{Module: "det.mc", Source: cleanCheckSrc,
+			Options: AnalyzeOptions{Mode: mode}}
+		first, err := Analyze(context.Background(), req).MarshalCanonical()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", mode, err)
+		}
+		second, err := Analyze(context.Background(), req).MarshalCanonical()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", mode, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: two cold runs render different bytes:\n--- first\n%s\n--- second\n%s",
+				mode, first, second)
+		}
+		if first[len(first)-1] != '\n' {
+			t.Errorf("%s: canonical form lacks the trailing newline", mode)
+		}
+	}
+}

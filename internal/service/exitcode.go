@@ -1,0 +1,33 @@
+package service
+
+// The shared exit-code policy. Both binaries (cmd/lna and
+// cmd/experiments) map their outcomes through this one table, so "what
+// does exit 3 mean" has a single answer everywhere:
+//
+//	0  clean: the analysis ran and reported no findings
+//	1  findings: the analysis ran and reported errors (annotation
+//	   violations, locking type errors, corpus mismatches)
+//	2  usage: bad flags, unknown subcommand, or an I/O error before
+//	   any analysis ran
+//	3  degraded: the analysis itself failed — a contained panic,
+//	   a deadline expiry, or an internal inconsistency — so any
+//	   reported numbers cover only what survived
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitUsage    = 2
+	ExitDegraded = 3
+)
+
+// ExitCode maps a response to the shared policy: a contained failure
+// is degraded, findings are findings, anything else is clean.
+func (r *AnalyzeResponse) ExitCode() int {
+	switch {
+	case r.Failure != nil:
+		return ExitDegraded
+	case r.Findings > 0:
+		return ExitFindings
+	default:
+		return ExitClean
+	}
+}

@@ -1,0 +1,417 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server defaults, overridable through ServerOptions.
+const (
+	// DefaultCacheEntries bounds the LRU result cache.
+	DefaultCacheEntries = 1024
+	// DefaultRequestTimeout is the per-module analysis deadline.
+	DefaultRequestTimeout = 2 * time.Minute
+	// DefaultDrainTimeout bounds graceful shutdown: how long in-flight
+	// requests get to finish after SIGTERM before the listener is torn
+	// down hard.
+	DefaultDrainTimeout = 30 * time.Second
+	// maxRequestBytes bounds one request body (a batch of large
+	// modules fits comfortably; a runaway upload does not).
+	maxRequestBytes = 64 << 20
+	// MaxBatch bounds the modules in one /v1/batch submission.
+	MaxBatch = 4096
+)
+
+// ServerOptions configures a Server. The zero value picks sensible
+// defaults for every field.
+type ServerOptions struct {
+	// Workers is the analysis pool size (0 = GOMAXPROCS). At most this
+	// many modules are analyzed concurrently, across all endpoints.
+	Workers int
+	// CacheEntries is the LRU result-cache capacity in entries
+	// (0 = DefaultCacheEntries).
+	CacheEntries int
+	// QueueDepth bounds admitted-but-unfinished /v1/analyze requests
+	// (waiting + running). One more than that and the server answers
+	// 429 immediately instead of building an unbounded backlog
+	// (0 = 4×Workers). Batches are admitted whole and bounded by
+	// MaxBatch instead.
+	QueueDepth int
+	// RequestTimeout is the per-module analysis deadline
+	// (0 = DefaultRequestTimeout; negative = no deadline).
+	RequestTimeout time.Duration
+}
+
+// withDefaults resolves zero fields.
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = DefaultCacheEntries
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	} else if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	return o
+}
+
+// Server is the resident analysis service behind `lna serve`: a fixed
+// worker pool over the shared Analyze engine, an LRU cache of
+// canonical response bytes keyed by content hash, request batching,
+// bounded-queue backpressure, and graceful drain.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/analyze  one AnalyzeRequest → one AnalyzeResponse.
+//	                  Headers: X-Lna-Cache: hit|miss,
+//	                  X-Lna-Cache-Key: <sha256>. 429 when the queue
+//	                  is full, 503 while draining.
+//	POST /v1/batch    {"requests": [...]} → BatchResponse with
+//	                  per-entry cache flags and a summary.
+//	GET  /v1/health   {"status": "ok"|"draining", ...}
+//	GET  /v1/stats    ServerStats snapshot.
+type Server struct {
+	opts  ServerOptions
+	cache *Cache
+	// slots is the worker pool: holding a token = running an analysis.
+	slots chan struct{}
+	// queue bounds admitted single-module requests (waiting+running).
+	queue chan struct{}
+
+	draining atomic.Bool
+	requests atomic.Uint64 // single-module requests admitted
+	batches  atomic.Uint64 // batch requests admitted
+	rejected atomic.Uint64 // 429s + 503s
+	failures atomic.Uint64 // responses carrying a Failure record
+}
+
+// NewServer builds a Server (see ServerOptions for the knobs).
+func NewServer(opts ServerOptions) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		opts:  o,
+		cache: NewCache(o.CacheEntries),
+		slots: make(chan struct{}, o.Workers),
+		queue: make(chan struct{}, o.QueueDepth),
+	}
+}
+
+// Options returns the resolved configuration.
+func (s *Server) Options() ServerOptions { return s.opts }
+
+// CacheStats exposes the result cache's accounting.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// ServerStats is the /v1/stats payload.
+type ServerStats struct {
+	Workers        int        `json:"workers"`
+	QueueDepth     int        `json:"queue_depth"`
+	Requests       uint64     `json:"requests"`
+	BatchRequests  uint64     `json:"batch_requests"`
+	Rejected       uint64     `json:"rejected"`
+	Failures       uint64     `json:"failures"`
+	Draining       bool       `json:"draining"`
+	Cache          CacheStats `json:"cache"`
+	RequestTimeout string     `json:"request_timeout"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeRequest reads and validates one JSON body into dst.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// validate rejects requests the engine cannot serve before they cost
+// a queue slot.
+func validate(req *AnalyzeRequest) error {
+	if !ValidMode(req.Options.Mode) {
+		return fmt.Errorf("unknown analysis mode %q (want check|infer|confine|qual)", req.Options.Mode)
+	}
+	if req.Source == "" {
+		return errors.New("empty source")
+	}
+	return nil
+}
+
+// runCached serves req from the cache or runs it on the calling
+// goroutine (which must already hold a worker slot). Only healthy
+// responses are cached: a panic or timeout record may be environment-
+// dependent, so those re-run on resubmission.
+func (s *Server) runCached(ctx context.Context, req *AnalyzeRequest) (data []byte, key string, hit bool, resp *AnalyzeResponse, err error) {
+	key = CacheKey(req)
+	if data, ok := s.cache.Get(key); ok {
+		return data, key, true, nil, nil
+	}
+	resp = AnalyzeBounded(ctx, req, s.opts.RequestTimeout)
+	if resp.Failure != nil {
+		s.failures.Add(1)
+	}
+	data, err = resp.MarshalCanonical()
+	if err != nil {
+		return nil, key, false, resp, err
+	}
+	if resp.Failure == nil {
+		s.cache.Put(key, data)
+	}
+	return data, key, false, resp, nil
+}
+
+// acquireSlot takes a worker token, honouring request cancellation.
+func (s *Server) acquireSlot(ctx context.Context) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.slots }
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req AnalyzeRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if err := validate(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Backpressure: admission is non-blocking. A full queue means the
+	// pool is RequestTimeout-deep in work already; asking the client
+	// to retry beats an unbounded backlog.
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight)", s.opts.QueueDepth)
+		return
+	}
+	s.requests.Add(1)
+	if !s.acquireSlot(r.Context()) {
+		return // client went away while queued
+	}
+	defer s.releaseSlot()
+	data, key, hit, _, err := s.runCached(r.Context(), &req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Lna-Cache-Key", key)
+	if hit {
+		w.Header().Set("X-Lna-Cache", "hit")
+	} else {
+		w.Header().Set("X-Lna-Cache", "miss")
+	}
+	_, _ = w.Write(data)
+}
+
+// BatchRequest is a corpus-style multi-module submission.
+type BatchRequest struct {
+	Requests []AnalyzeRequest `json:"requests"`
+}
+
+// BatchEntry is one module's outcome within a batch: the canonical
+// AnalyzeResponse plus its cache disposition.
+type BatchEntry struct {
+	Cached   bool            `json:"cached"`
+	CacheKey string          `json:"cache_key"`
+	Response json.RawMessage `json:"response"`
+}
+
+// BatchSummary aggregates a batch.
+type BatchSummary struct {
+	Modules     int `json:"modules"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	Failures    int `json:"failures"`
+	Findings    int `json:"findings"`
+}
+
+// BatchResponse answers /v1/batch; Results is index-aligned with the
+// submitted Requests.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+	Summary BatchSummary `json:"summary"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var batch BatchRequest
+	if !decodeRequest(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(batch.Requests) > MaxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-module limit", len(batch.Requests), MaxBatch)
+		return
+	}
+	for i := range batch.Requests {
+		if err := validate(&batch.Requests[i]); err != nil {
+			httpError(w, http.StatusBadRequest, "request %d: %v", i, err)
+			return
+		}
+	}
+	s.batches.Add(1)
+
+	// Fan the batch across the worker pool. Entries stream through the
+	// shared slots, so one batch cannot starve concurrent requests of
+	// more than its fair share of workers.
+	out := BatchResponse{Results: make([]BatchEntry, len(batch.Requests))}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex // guards the summary counters
+	)
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if !s.acquireSlot(r.Context()) {
+				return
+			}
+			defer s.releaseSlot()
+			data, key, hit, resp, err := s.runCached(r.Context(), &batch.Requests[i])
+			if err != nil {
+				data, _ = json.Marshal(map[string]string{"error": err.Error()})
+			}
+			out.Results[i] = BatchEntry{Cached: hit, CacheKey: key, Response: data}
+			mu.Lock()
+			defer mu.Unlock()
+			if hit {
+				out.Summary.CacheHits++
+			} else {
+				out.Summary.CacheMisses++
+			}
+			if resp != nil {
+				if resp.Failure != nil {
+					out.Summary.Failures++
+				}
+				out.Summary.Findings += resp.Findings
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Context().Err() != nil {
+		return // client went away mid-batch
+	}
+	out.Summary.Modules = len(batch.Requests)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":      status,
+		"api_version": APIVersion,
+		"workers":     s.opts.Workers,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ServerStats{
+		Workers:        s.opts.Workers,
+		QueueDepth:     s.opts.QueueDepth,
+		Requests:       s.requests.Load(),
+		BatchRequests:  s.batches.Load(),
+		Rejected:       s.rejected.Load(),
+		Failures:       s.failures.Load(),
+		Draining:       s.draining.Load(),
+		Cache:          s.cache.Stats(),
+		RequestTimeout: s.opts.RequestTimeout.String(),
+	})
+}
+
+// ListenAndServe binds addr (port 0 picks a free port), reports the
+// bound address through ready (when non-nil), and serves until ctx is
+// cancelled. Cancellation triggers a graceful drain: new requests are
+// refused with 503 while in-flight ones get up to DefaultDrainTimeout
+// to finish. The returned error is nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.draining.Store(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), DefaultDrainTimeout)
+		defer cancel()
+		drained <- hs.Shutdown(shutdownCtx)
+	}()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() != nil {
+		return <-drained
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"localalias/internal/drivergen"
+)
+
+func newTestServer(t *testing.T, opts ServerOptions) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestServerAnalyzeRoundTrip: a cold request misses the cache, an
+// identical resubmission hits it, and the hit's body is byte-identical
+// to the cold run's — the wire contract the cache depends on.
+func TestServerAnalyzeRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{})
+	req := AnalyzeRequest{Module: "clean.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck}}
+
+	cold := postJSON(t, ts.URL+"/v1/analyze", req)
+	coldBody := readBody(t, cold)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status = %d: %s", cold.StatusCode, coldBody)
+	}
+	if got := cold.Header.Get("X-Lna-Cache"); got != "miss" {
+		t.Errorf("cold X-Lna-Cache = %q, want miss", got)
+	}
+	wantKey := CacheKey(&req)
+	if got := cold.Header.Get("X-Lna-Cache-Key"); got != wantKey {
+		t.Errorf("X-Lna-Cache-Key = %q, want %q", got, wantKey)
+	}
+	var parsed AnalyzeResponse
+	if err := json.Unmarshal(coldBody, &parsed); err != nil {
+		t.Fatalf("response is not an AnalyzeResponse: %v\n%s", err, coldBody)
+	}
+	if parsed.APIVersion != APIVersion || !parsed.OK || parsed.Module != "clean.mc" {
+		t.Errorf("parsed response = %+v", parsed)
+	}
+	// The body must equal what the engine + canonical renderer produce
+	// directly — the `lna check -json` equivalence.
+	direct, err := Analyze(context.Background(), &req).MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBody, direct) {
+		t.Errorf("served bytes differ from MarshalCanonical:\n--- served\n%s\n--- direct\n%s", coldBody, direct)
+	}
+
+	warm := postJSON(t, ts.URL+"/v1/analyze", req)
+	warmBody := readBody(t, warm)
+	if got := warm.Header.Get("X-Lna-Cache"); got != "hit" {
+		t.Errorf("warm X-Lna-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Error("cache hit served different bytes than the cold run")
+	}
+}
+
+// TestServerValidation: malformed submissions are refused before they
+// cost a worker slot.
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{})
+	cases := []struct {
+		name string
+		req  AnalyzeRequest
+	}{
+		{"empty source", AnalyzeRequest{Module: "m.mc", Options: AnalyzeOptions{Mode: ModeCheck}}},
+		{"bad mode", AnalyzeRequest{Module: "m.mc", Source: "fun f() {}", Options: AnalyzeOptions{Mode: "optimize"}}},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/analyze", tc.req)
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	get, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, get)
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze status = %d, want 405", get.StatusCode)
+	}
+}
+
+func corpusBatch(n int) BatchRequest {
+	var batch BatchRequest
+	for _, spec := range drivergen.Corpus()[:n] {
+		batch.Requests = append(batch.Requests, AnalyzeRequest{
+			Module: spec.Name + ".mc",
+			Source: spec.Source(),
+		})
+	}
+	return batch
+}
+
+// TestServerBatchCacheHitRate: submitting the same 20-module batch
+// twice serves the second pass almost entirely from cache (the CI
+// smoke criterion is >= 90%; identical submissions should hit 100%).
+func TestServerBatchCacheHitRate(t *testing.T) {
+	s, ts := newTestServer(t, ServerOptions{Workers: 4})
+	batch := corpusBatch(20)
+
+	var first, second BatchResponse
+	for pass, out := range map[int]*BatchResponse{1: &first, 2: &second} {
+		resp := postJSON(t, ts.URL+"/v1/batch", batch)
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pass %d status = %d: %s", pass, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+	}
+	if first.Summary.Modules != 20 || first.Summary.CacheMisses != 20 || first.Summary.Failures != 0 {
+		t.Errorf("first pass summary = %+v; want 20 modules, all misses, no failures", first.Summary)
+	}
+	if second.Summary.CacheHits < 18 {
+		t.Errorf("second pass cache hits = %d/20, want >= 18 (90%%)", second.Summary.CacheHits)
+	}
+	// A cached entry replays the cold pass's exact bytes.
+	for i := range second.Results {
+		if !second.Results[i].Cached {
+			continue
+		}
+		if !bytes.Equal(first.Results[i].Response, second.Results[i].Response) {
+			t.Errorf("entry %d: cache hit bytes differ from the cold run", i)
+		}
+	}
+	if st := s.CacheStats(); st.Hits < 18 || st.Entries == 0 {
+		t.Errorf("server cache stats = %+v", st)
+	}
+}
+
+// TestServerLargeBatch: the server sustains a 200-module submission —
+// every entry answered, none degraded, all distinct cache keys.
+func TestServerLargeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-module batch in -short mode")
+	}
+	_, ts := newTestServer(t, ServerOptions{})
+	resp := postJSON(t, ts.URL+"/v1/batch", corpusBatch(200))
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Modules != 200 || len(out.Results) != 200 {
+		t.Fatalf("summary = %+v, %d results; want 200", out.Summary, len(out.Results))
+	}
+	if out.Summary.Failures != 0 {
+		t.Errorf("%d modules degraded in a healthy batch", out.Summary.Failures)
+	}
+	keys := make(map[string]bool, 200)
+	for i, entry := range out.Results {
+		if len(entry.Response) == 0 {
+			t.Fatalf("entry %d has no response", i)
+		}
+		keys[entry.CacheKey] = true
+	}
+	if len(keys) != 200 {
+		t.Errorf("%d distinct cache keys for 200 distinct modules", len(keys))
+	}
+}
+
+// TestServerBatchPanicIsolation: one module panicking degrades only
+// its own entry — the batch still answers 200 with a failure record in
+// that slot, and the panicking module is never cached.
+func TestServerBatchPanicIsolation(t *testing.T) {
+	testAnalyzeHook = func(ctx context.Context, module string) {
+		if module == "bomb.mc" {
+			panic("injected server fault")
+		}
+	}
+	defer func() { testAnalyzeHook = nil }()
+
+	s, ts := newTestServer(t, ServerOptions{Workers: 2})
+	batch := corpusBatch(2)
+	batch.Requests = append(batch.Requests, AnalyzeRequest{
+		Module: "bomb.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck},
+	})
+	resp := postJSON(t, ts.URL+"/v1/batch", batch)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with a panicking module: status = %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Failures != 1 {
+		t.Errorf("summary failures = %d, want 1", out.Summary.Failures)
+	}
+	for i, entry := range out.Results {
+		var r AnalyzeResponse
+		if err := json.Unmarshal(entry.Response, &r); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if r.Module == "bomb.mc" {
+			if r.Failure == nil || !strings.Contains(r.Failure.Message, "injected server fault") {
+				t.Errorf("panicking module lacks its failure record: %+v", r.Failure)
+			}
+		} else if r.Failure != nil {
+			t.Errorf("healthy module %s degraded by its neighbour: %v", r.Module, r.Failure)
+		}
+	}
+	if s.failures.Load() != 1 {
+		t.Errorf("failure counter = %d, want 1", s.failures.Load())
+	}
+	// Failed responses are never cached: resubmitting the module (with
+	// the hook gone) re-runs it and succeeds.
+	testAnalyzeHook = nil
+	again := postJSON(t, ts.URL+"/v1/analyze", batch.Requests[2])
+	againBody := readBody(t, again)
+	if got := again.Header.Get("X-Lna-Cache"); got != "miss" {
+		t.Errorf("resubmitted failed module X-Lna-Cache = %q, want miss", got)
+	}
+	var r AnalyzeResponse
+	if err := json.Unmarshal(againBody, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Failure != nil || !r.OK {
+		t.Errorf("resubmission after the fault cleared = %+v", r)
+	}
+}
+
+// TestServerBatchLimits: empty and oversized batches are rejected.
+func TestServerBatchLimits(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{})
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{{"empty", 0}, {"oversized", MaxBatch + 1}} {
+		batch := BatchRequest{Requests: make([]AnalyzeRequest, tc.n)}
+		for i := range batch.Requests {
+			batch.Requests[i] = AnalyzeRequest{Module: fmt.Sprintf("m%d.mc", i), Source: "fun f() {}"}
+		}
+		resp := postJSON(t, ts.URL+"/v1/batch", batch)
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s batch: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerBackpressure: with one worker and a queue depth of one,
+// a second concurrent request is refused with 429 + Retry-After
+// instead of queuing unboundedly.
+func TestServerBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	testAnalyzeHook = func(ctx context.Context, module string) {
+		if module == "slow.mc" {
+			entered <- struct{}{}
+			<-block
+		}
+	}
+	defer func() { testAnalyzeHook = nil; close(block) }()
+
+	s, ts := newTestServer(t, ServerOptions{Workers: 1, QueueDepth: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+			Module: "slow.mc", Source: cleanCheckSrc,
+			Options: AnalyzeOptions{Mode: ModeCheck}})
+		readBody(t, resp)
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the analysis hook")
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Module: "fast.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck}})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 lacks a Retry-After header")
+	}
+	if s.rejected.Load() == 0 {
+		t.Error("rejected counter not incremented")
+	}
+	block <- struct{}{}
+	<-done
+}
+
+// TestServerDraining: once draining, new submissions get 503 while
+// health reports the state.
+func TestServerDraining(t *testing.T) {
+	s, ts := newTestServer(t, ServerOptions{})
+	s.draining.Store(true)
+	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Module: "m.mc", Source: cleanCheckSrc, Options: AnalyzeOptions{Mode: ModeCheck}})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("analyze while draining: status = %d, want 503", resp.StatusCode)
+	}
+	batch := postJSON(t, ts.URL+"/v1/batch", corpusBatch(1))
+	readBody(t, batch)
+	if batch.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch while draining: status = %d, want 503", batch.StatusCode)
+	}
+	health, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readBody(t, health)), "draining") {
+		t.Error("health does not report the draining state")
+	}
+}
+
+// TestServerStatsEndpoint: the stats snapshot reflects served traffic.
+func TestServerStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{Workers: 2, CacheEntries: 8})
+	req := AnalyzeRequest{Module: "m.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck}}
+	for i := 0; i < 2; i++ {
+		readBody(t, postJSON(t, ts.URL+"/v1/analyze", req))
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 || st.Requests != 2 || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("stats = %+v; want workers=2 requests=2 cache hits=1 misses=1", st)
+	}
+}
+
+// TestListenAndServeGracefulDrain: the daemon binds a free port,
+// serves, and drains cleanly when its context is cancelled.
+func TestListenAndServeGracefulDrain(t *testing.T) {
+	s := NewServer(ServerOptions{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- s.ListenAndServe(ctx, "127.0.0.1:0", func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp := postJSON(t, "http://"+addr+"/v1/analyze", AnalyzeRequest{
+		Module: "m.mc", Source: cleanCheckSrc, Options: AnalyzeOptions{Mode: ModeCheck}})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze before drain: status = %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}

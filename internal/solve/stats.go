@@ -9,32 +9,34 @@ import "fmt"
 // over the same module produce identical numbers. Benchmarks and the
 // experiments driver report them so speedups (or regressions) in the
 // solver are observable rather than asserted.
+// Stats is part of the service wire contract (it rides in every
+// AnalyzeResponse), hence the JSON tags.
 type Stats struct {
 	// Vars is the number of effect variables in the solved system
 	// (after normalization introduced fresh ones).
-	Vars int
+	Vars int `json:"vars"`
 	// Atoms is the number of distinct atoms interned (kind × location
 	// class, counting pre- and post-unification identities).
-	Atoms int
+	Atoms int `json:"atoms"`
 	// AtomsPropagated counts successful set insertions (an atom newly
 	// entering a variable's solution).
-	AtomsPropagated int
+	AtomsPropagated int `json:"atoms_propagated"`
 	// IntersectionArrivals counts atoms newly arriving on either side
 	// of an intersection node.
-	IntersectionArrivals int
+	IntersectionArrivals int `json:"intersection_arrivals"`
 	// CondFirings counts conditional constraints whose trigger became
 	// true.
-	CondFirings int
+	CondFirings int `json:"cond_firings"`
 	// Unifications counts location unifications observed while
 	// solving (fired ActUnify actions that actually merged classes,
 	// plus any unifications performed by other store clients during
 	// the run).
-	Unifications int
+	Unifications int `json:"unifications"`
 	// Recanonicalizations counts incremental re-canonicalization
 	// passes (one per quiescent point with pending unifications; each
 	// pass touches only the gates holding a stale atom or a merged
 	// right-set location).
-	Recanonicalizations int
+	Recanonicalizations int `json:"recanonicalizations"`
 }
 
 // Add accumulates other into s (for aggregating per-solve stats over
