@@ -39,6 +39,12 @@ import (
 // via testing.Benchmark.
 func BenchmarkCorpusSummary(b *testing.B) { experiments.BenchCorpusSummary(b) }
 
+// BenchmarkCorpusSummaryTraced is the same corpus run with the
+// observability path enabled (a span trace per module, as under the
+// daemon); its delta against BenchmarkCorpusSummary bounds the
+// tracing overhead recorded in BENCH_obs.json.
+func BenchmarkCorpusSummaryTraced(b *testing.B) { experiments.BenchCorpusSummaryTraced(b) }
+
 func BenchmarkFigure6(b *testing.B) {
 	// The histogram inputs are the strong-updates-matter modules.
 	var specs []*drivergen.ModuleSpec
@@ -267,6 +273,10 @@ func BenchmarkScopeHeuristic(b *testing.B) {
 // Micro: solver throughput
 
 func BenchmarkSolverPropagation(b *testing.B) { experiments.BenchSolverPropagation(b) }
+
+// BenchmarkSolverPropagationTraced runs the same workload inside a
+// phase trace carrying obs spans (the instrumented pipeline path).
+func BenchmarkSolverPropagationTraced(b *testing.B) { experiments.BenchSolverPropagationTraced(b) }
 
 // Guard: the scaling generator must produce type-correct programs.
 func TestScalingProgramsCompile(t *testing.T) {

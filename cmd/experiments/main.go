@@ -8,6 +8,9 @@
 //	experiments -fig7         # Figure 7 only
 //	experiments -timing       # E4 only
 //	experiments -dump DIR     # write the generated corpus sources to DIR
+//	experiments -phases       # with -summary: per-phase p50/p95/max table
+//	experiments -bench-obs-json FILE
+//	                          # observability-overhead benchmarks
 //
 // Fault-containment flags:
 //
@@ -59,6 +62,8 @@ func main() {
 		dump          = flag.String("dump", "", "write generated corpus sources to this directory and exit")
 		csvPath       = flag.String("csv", "", "also write per-module results as CSV to this file")
 		benchJSON     = flag.String("bench-json", "", "run the solver benchmarks, write ns/op as JSON to this file (- for stdout), and exit")
+		benchObsJSON  = flag.String("bench-obs-json", "", "run the observability-overhead benchmarks (tracing disabled vs enabled), write ns/op as JSON to this file (- for stdout), and exit")
+		phases        = flag.Bool("phases", false, "also print the per-phase p50/p95/max timing table with the summary")
 		quiet         = flag.Bool("q", false, "suppress progress output")
 		moduleTimeout = flag.Duration("module-timeout", 2*time.Minute, "per-module analysis deadline (0 disables it)")
 		failuresJSON  = flag.String("failures-json", "", "write the failure report as JSON to this file (- for stdout)")
@@ -90,6 +95,27 @@ func main() {
 			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+		}
+		return
+	}
+
+	if *benchObsJSON != "" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running observability-overhead benchmarks (disabled vs traced)...")
+		}
+		data, err := experiments.RunObsBenchJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *benchObsJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchObsJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchObsJSON)
 		}
 		return
 	}
@@ -149,6 +175,11 @@ func main() {
 
 	if all || *summary {
 		fmt.Println(res.Summary())
+		if *phases || all {
+			if t := res.PhaseTable(); t != "" {
+				fmt.Println(t)
+			}
+		}
 	}
 	if all || *fig6 {
 		fmt.Println(res.Figure6())

@@ -20,6 +20,9 @@
 //	-liberal   check with the liberal §5 restrict-effect semantics
 //	-json      emit the canonical service.AnalyzeResponse as JSON
 //	           (check/infer/confine/qual)
+//	-trace-out FILE  write a Chrome trace_event JSON file of the
+//	           request's phase spans (check/infer/confine/qual);
+//	           open it at chrome://tracing or https://ui.perfetto.dev
 //
 // Serve flags:
 //
@@ -29,6 +32,10 @@
 //	-cache-entries   LRU result-cache capacity
 //	-queue-depth     max in-flight single requests before 429
 //	-request-timeout per-module analysis deadline
+//	-log-format      access-log rendering: text (default), json, or off
+//	-debug-addr      optional second listener exposing /debug/pprof/*
+//	                 and a Prometheus /metrics scrape (default off;
+//	                 bind loopback only — it is unauthenticated)
 //
 // The analysis subcommands and the daemon share one engine and one
 // response shape (package service): `lna check -json FILE` emits
@@ -43,6 +50,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,6 +64,7 @@ import (
 	"localalias/internal/experiments"
 	"localalias/internal/faults"
 	"localalias/internal/interp"
+	"localalias/internal/obs"
 	"localalias/internal/service"
 )
 
@@ -74,9 +84,28 @@ var analysisModes = map[string]bool{"check": true, "infer": true, "confine": tru
 // token is a flag, the error names the first one so the user sees
 // which flag stranded the command line.
 func splitCommand(args []string) (cmd string, rest []string, err error) {
+	known := make(map[string]bool, len(subcommands))
+	for _, s := range subcommands {
+		known[s] = true
+	}
+	isFlag := func(a string) bool {
+		return strings.HasPrefix(a, "-") && a != "-" && a != "--"
+	}
 	for i, a := range args {
-		if strings.HasPrefix(a, "-") && a != "-" && a != "--" {
+		if isFlag(a) {
 			continue
+		}
+		if !known[a] && i > 0 && isFlag(args[i-1]) && !strings.Contains(args[i-1], "=") {
+			// A bare token right after a `=`-less flag may be that
+			// flag's value (`lna -trace-out out.json check f.mc`).
+			// If a known subcommand appears later, keep this token
+			// with its flag and split there instead.
+			for j := i + 1; j < len(args); j++ {
+				if known[args[j]] {
+					rest = append(append(rest, args[:j]...), args[j+1:]...)
+					return args[j], rest, nil
+				}
+			}
 		}
 		rest = append(append(rest, args[:i]...), args[i+1:]...)
 		return a, rest, nil
@@ -91,12 +120,15 @@ func splitCommand(args []string) (cmd string, rest []string, err error) {
 // options carries the parsed flags into the subcommand bodies.
 type options struct {
 	params, general, liberal, asJSON bool
+	traceOut                         string
 
 	addr           string
 	workers        int
 	cacheEntries   int
 	queueDepth     int
 	requestTimeout time.Duration
+	logFormat      string
+	debugAddr      string
 }
 
 func main() {
@@ -122,11 +154,14 @@ func main() {
 	fs.BoolVar(&opt.general, "general", false, "exhaustive confine scope search")
 	fs.BoolVar(&opt.liberal, "liberal", false, "check with the liberal §5 restrict-effect semantics")
 	fs.BoolVar(&opt.asJSON, "json", false, "emit the canonical AnalyzeResponse as JSON")
+	fs.StringVar(&opt.traceOut, "trace-out", "", "write a Chrome trace_event JSON file of the request's phase spans")
 	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8347", "serve: listen address (port 0 picks a free port)")
 	fs.IntVar(&opt.workers, "workers", 0, "serve: analysis pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&opt.cacheEntries, "cache-entries", service.DefaultCacheEntries, "serve: LRU result-cache capacity")
 	fs.IntVar(&opt.queueDepth, "queue-depth", 0, "serve: max in-flight single requests before 429 (0 = 4×workers)")
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", service.DefaultRequestTimeout, "serve: per-module analysis deadline")
+	fs.StringVar(&opt.logFormat, "log-format", "text", "serve: access-log rendering (text|json|off)")
+	fs.StringVar(&opt.debugAddr, "debug-addr", "", "serve: optional pprof+metrics listener (empty = off)")
 	if err := fs.Parse(rest); err != nil {
 		// The flag package has already printed the offending flag and
 		// the flag set's usage.
@@ -171,7 +206,7 @@ func main() {
 // driver use — and renders the response for humans or as canonical
 // JSON. The returned exit code follows the shared policy table.
 func runAnalysis(cmd, file, src string, opt options) int {
-	resp := service.Analyze(context.Background(), &service.AnalyzeRequest{
+	req := &service.AnalyzeRequest{
 		Module: file,
 		Source: src,
 		Options: service.AnalyzeOptions{
@@ -180,7 +215,17 @@ func runAnalysis(cmd, file, src string, opt options) int {
 			Params:  opt.params,
 			Liberal: opt.liberal,
 		},
-	})
+	}
+	if opt.traceOut != "" {
+		req.Obs = obs.NewTrace(file)
+	}
+	resp := service.Analyze(context.Background(), req)
+	if opt.traceOut != "" {
+		if err := writeTrace(opt.traceOut, req.Obs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "lna: trace %s written to %s\n", req.Obs.ID(), opt.traceOut)
+	}
 	if opt.asJSON {
 		data, err := resp.MarshalCanonical()
 		if err != nil {
@@ -191,6 +236,19 @@ func runAnalysis(cmd, file, src string, opt options) int {
 	}
 	renderResponse(cmd, resp)
 	return resp.ExitCode()
+}
+
+// writeTrace exports one request's spans as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // renderResponse prints the human-readable report for one analysis
@@ -253,14 +311,39 @@ func renderResponse(cmd string, resp *service.AnalyzeResponse) {
 // runServe starts the resident analysis daemon and blocks until
 // SIGINT/SIGTERM, then drains gracefully.
 func runServe(opt options) int {
-	srv := service.NewServer(service.ServerOptions{
+	so := service.ServerOptions{
 		Workers:        opt.workers,
 		CacheEntries:   opt.cacheEntries,
 		QueueDepth:     opt.queueDepth,
 		RequestTimeout: opt.requestTimeout,
-	})
+	}
+	switch opt.logFormat {
+	case "off":
+		// no access log
+	case service.LogText, service.LogJSON:
+		so.AccessLog = os.Stderr
+		so.LogFormat = opt.logFormat
+	default:
+		fmt.Fprintf(os.Stderr, "lna: serve: unknown -log-format %q (want text|json|off)\n", opt.logFormat)
+		return service.ExitUsage
+	}
+	srv := service.NewServer(so)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if opt.debugAddr != "" {
+		// The debug listener exposes pprof profiles and the Prometheus
+		// scrape on a separate, opt-in port so the service port never
+		// serves unauthenticated profiling data.
+		dln, err := net.Listen("tcp", opt.debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lna: serve: debug listener:", err)
+			return service.ExitUsage
+		}
+		fmt.Printf("lna serve debug listening on http://%s (pprof + metrics)\n", dln.Addr())
+		dsrv := &http.Server{Handler: obs.DebugHandler()}
+		go func() { _ = dsrv.Serve(dln) }()
+		defer dsrv.Close()
+	}
 	err := srv.ListenAndServe(ctx, opt.addr, func(bound string) {
 		o := srv.Options()
 		fmt.Printf("lna serve listening on http://%s (workers=%d cache=%d queue=%d timeout=%v)\n",

@@ -18,6 +18,10 @@ func TestSplitCommand(t *testing.T) {
 		{"flags both sides", []string{"-json", "qual", "-general", "f.mc"}, "qual", []string{"-json", "-general", "f.mc"}},
 		{"no flags", []string{"fmt", "f.mc"}, "fmt", []string{"f.mc"}},
 		{"run with negative arg", []string{"run", "f.mc", "-3"}, "run", []string{"f.mc", "-3"}},
+		{"value flag before", []string{"-trace-out", "t.json", "check", "f.mc"}, "check", []string{"-trace-out", "t.json", "f.mc"}},
+		{"value flag with equals before", []string{"-trace-out=t.json", "check", "f.mc"}, "check", []string{"-trace-out=t.json", "f.mc"}},
+		{"value flag then bool flag before", []string{"-trace-out", "t.json", "-json", "qual", "f.mc"}, "qual", []string{"-trace-out", "t.json", "-json", "f.mc"}},
+		{"typo stays the subcommand", []string{"-trace-out", "t.json", "chek", "f.mc"}, "t.json", []string{"-trace-out", "chek", "f.mc"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

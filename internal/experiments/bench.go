@@ -10,7 +10,9 @@ import (
 	"localalias/internal/confine"
 	"localalias/internal/core"
 	"localalias/internal/drivergen"
+	"localalias/internal/faults"
 	"localalias/internal/infer"
+	"localalias/internal/obs"
 	"localalias/internal/qual"
 	"localalias/internal/solve"
 )
@@ -60,13 +62,43 @@ func BenchSolverPropagation(b *testing.B) {
 	}
 }
 
+// BenchSolverPropagationTraced is BenchSolverPropagation with the
+// full observability path enabled: every iteration runs inside a
+// phase trace carrying obs spans, the way a daemon request or a
+// -trace-out run does. The delta against the plain benchmark bounds
+// the cost of tracing; the delta of the plain benchmark against the
+// pre-instrumentation baseline bounds the cost of the always-on
+// metrics (see BENCH_obs.json).
+func BenchSolverPropagationTraced(b *testing.B) {
+	src := ScalingProgram(200, 0)
+	mod, err := core.LoadModule("scale.mc", src)
+	if err != nil {
+		benchFatal(b, err)
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		tr := faults.NewTrace("scale.mc")
+		tr.SetSpans(obs.NewTrace("scale.mc"))
+		tr.Enter(faults.PhaseInfer)
+		res := infer.Run(mod.TInfo, mod.Diags, infer.Options{InferRestrictLets: true})
+		tr.Enter(faults.PhaseSolve)
+		sol := solve.Solve(res.Sys)
+		tr.Enter(faults.PhaseQual)
+		if sol.AtomsPropagated == 0 {
+			benchFatal(b, fmt.Errorf("solver propagated no atoms on the scaling program"))
+			return
+		}
+	}
+}
+
 // BenchCorpusSummary measures the full E1 experiment: the three-mode
-// analysis of all 589 corpus modules.
-func BenchCorpusSummary(b *testing.B) {
+// analysis of all 589 corpus modules. traced selects the observability
+// path (per-module span traces, as under the daemon).
+func benchCorpusSummary(b *testing.B, traced bool) {
 	specs := drivergen.Corpus()
 	var res *CorpusResult
 	for i := 0; i < b.N; i++ {
-		res = RunCorpus(context.Background(), CorpusOptions{Specs: specs})
+		res = RunCorpus(context.Background(), CorpusOptions{Specs: specs, Traced: traced})
 	}
 	b.StopTimer()
 	if res.Degraded() {
@@ -81,6 +113,15 @@ func BenchCorpusSummary(b *testing.B) {
 	b.ReportMetric(float64(res.Potential), "potential")
 	b.ReportMetric(res.EliminationRate()*100, "%eliminated")
 }
+
+// BenchCorpusSummary is the plain (untraced) corpus benchmark — the
+// number BENCH_solver.json tracks.
+func BenchCorpusSummary(b *testing.B) { benchCorpusSummary(b, false) }
+
+// BenchCorpusSummaryTraced runs the corpus with per-module span
+// traces attached, bounding the daemon's tracing overhead at corpus
+// scale.
+func BenchCorpusSummaryTraced(b *testing.B) { benchCorpusSummary(b, true) }
 
 // BenchConfineOverhead measures one full analysis of ide_tape (the E4
 // module) with or without confine inference.
@@ -164,6 +205,43 @@ func RunBenchJSON() ([]byte, error) {
 			}
 			return nil, fmt.Errorf("benchmark %s failed after zero iterations over the %d-module corpus: %w",
 				bench.name, drivergen.NumModules, underlying)
+		}
+		out = append(out, BenchMeasurement{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// RunObsBenchJSON runs the observability-overhead benchmarks — each
+// workload with instrumentation disabled (metrics only; tracing off,
+// the default) and enabled (per-request span traces) — and returns
+// the measurements as indented JSON. BENCH_obs.json at the repo root
+// records these next to the pre-instrumentation baseline.
+func RunObsBenchJSON() ([]byte, error) {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkSolverPropagation/disabled", BenchSolverPropagation},
+		{"BenchmarkSolverPropagation/traced", BenchSolverPropagationTraced},
+		{"BenchmarkCorpusSummary/disabled", BenchCorpusSummary},
+		{"BenchmarkCorpusSummary/traced", BenchCorpusSummaryTraced},
+	}
+	var out []BenchMeasurement
+	for _, bench := range benches {
+		benchErr = nil
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			underlying := benchErr
+			if underlying == nil {
+				underlying = fmt.Errorf("benchmark body aborted without reporting a cause")
+			}
+			return nil, fmt.Errorf("benchmark %s failed after zero iterations: %w", bench.name, underlying)
 		}
 		out = append(out, BenchMeasurement{
 			Name:        bench.name,

@@ -34,6 +34,7 @@ import (
 	"localalias/internal/drivergen"
 	"localalias/internal/faults"
 	"localalias/internal/infer"
+	"localalias/internal/obs"
 	"localalias/internal/qual"
 	"localalias/internal/service"
 	"localalias/internal/solve"
@@ -65,6 +66,11 @@ type ModuleResult struct {
 	// PhaseTimings is the per-phase wall-clock breakdown
 	// (generate/parse/typecheck/infer/solve/qual).
 	PhaseTimings []faults.PhaseTiming
+	// TraceID identifies this module's span trace when the corpus ran
+	// with CorpusOptions.Traced ("" otherwise).
+	TraceID string
+	// Trace holds the collected spans when Traced (nil otherwise).
+	Trace *obs.Trace
 }
 
 // Potential is the number of spurious errors strong updates could
@@ -153,9 +159,9 @@ var testFaultHook func(ctx context.Context, spec *drivergen.ModuleSpec)
 // module's wall-clock time so one pathological constraint system
 // cannot stall a worker. The corpus driver, the lna subcommands, and
 // the `lna serve` daemon therefore measure exactly the same pipeline.
-func analyzeSpec(ctx context.Context, spec *drivergen.ModuleSpec, timeout time.Duration) *ModuleResult {
+func analyzeSpec(ctx context.Context, spec *drivergen.ModuleSpec, timeout time.Duration, traced bool) *ModuleResult {
 	out := &ModuleResult{Spec: spec}
-	resp := service.AnalyzeBounded(ctx, &service.AnalyzeRequest{
+	req := &service.AnalyzeRequest{
 		Module:  spec.Name + ".mc",
 		Options: service.AnalyzeOptions{Mode: service.ModeQual},
 		// Source generation runs inside the fault guard (attributed to
@@ -166,7 +172,13 @@ func analyzeSpec(ctx context.Context, spec *drivergen.ModuleSpec, timeout time.D
 			}
 			return spec.Source()
 		},
-	}, timeout)
+	}
+	if traced {
+		req.Obs = obs.NewTrace(spec.Name)
+		out.Trace = req.Obs
+		out.TraceID = req.Obs.ID()
+	}
+	resp := service.AnalyzeBounded(ctx, req, timeout)
 	out.Response = resp
 	out.PhaseTimings = resp.PhaseTimings
 	out.AnalyzeTime = resp.Elapsed
@@ -217,6 +229,10 @@ type CorpusOptions struct {
 	// per-module deadline. A module that exceeds it is reported as
 	// timed out and the run continues.
 	ModuleTimeout time.Duration
+	// Traced attaches a span trace (with a unique trace ID) to every
+	// module's request. Off by default: the corpus benchmark compares
+	// this path against the traced one to bound tracing overhead.
+	Traced bool
 }
 
 // RunCorpus analyzes opts.Specs on a fixed pool of one worker per
@@ -248,7 +264,7 @@ func RunCorpus(ctx context.Context, opts CorpusOptions) *CorpusResult {
 				if i >= len(specs) {
 					return
 				}
-				results[i] = analyzeSpec(ctx, specs[i], opts.ModuleTimeout)
+				results[i] = analyzeSpec(ctx, specs[i], opts.ModuleTimeout, opts.Traced)
 				if n := int(done.Add(1)); progress != nil && n%50 == 0 && n < len(specs) {
 					fmt.Fprintf(progress, "  ...%d/%d modules\n", n, len(specs))
 				}
@@ -260,16 +276,6 @@ func RunCorpus(ctx context.Context, opts CorpusOptions) *CorpusResult {
 		fmt.Fprintf(progress, "  ...%d/%d modules\n", len(specs), len(specs))
 	}
 	return aggregate(results)
-}
-
-// RunCorpusOpts analyzes specs with the given progress writer.
-//
-// Deprecated: use RunCorpus(ctx, CorpusOptions{...}); this wrapper
-// survives one release for the PR-2 call sites.
-func RunCorpusOpts(ctx context.Context, specs []*drivergen.ModuleSpec, progress io.Writer, opts CorpusOptions) *CorpusResult {
-	opts.Specs = specs
-	opts.Progress = progress
-	return RunCorpus(ctx, opts)
 }
 
 func aggregate(results []*ModuleResult) *CorpusResult {
@@ -342,6 +348,77 @@ func (r *CorpusResult) Summary() string {
 	if r.Degraded() {
 		fmt.Fprintf(&b, "  DEGRADED RUN: %d analyzed, %d failed, %d timed out (counts above cover survivors only)\n",
 			r.Analyzed(), r.Failed, r.TimedOut)
+	}
+	return b.String()
+}
+
+// PhaseStat is one row of the per-phase timing table: the number of
+// modules that ran the phase and the distribution of their wall-clock
+// times in it.
+type PhaseStat struct {
+	Phase string        `json:"phase"`
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// PhaseStats computes the per-phase p50/p95/max over every surviving
+// module's phase timings, in canonical pipeline order. Exact
+// percentiles (nearest-rank over the sorted samples), not histogram
+// estimates: the corpus driver holds every sample in memory anyway.
+func (r *CorpusResult) PhaseStats() []PhaseStat {
+	samples := make(map[faults.Phase][]time.Duration)
+	for _, m := range r.Modules {
+		if m == nil || m.Failure != nil {
+			continue
+		}
+		for _, pt := range m.PhaseTimings {
+			samples[pt.Phase] = append(samples[pt.Phase], pt.Elapsed)
+		}
+	}
+	var out []PhaseStat
+	for _, p := range faults.Phases() {
+		ds := samples[p]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		rank := func(q float64) time.Duration {
+			i := int(q*float64(len(ds)) + 0.5)
+			if i >= len(ds) {
+				i = len(ds) - 1
+			}
+			return ds[i]
+		}
+		out = append(out, PhaseStat{
+			Phase: string(p),
+			Count: len(ds),
+			P50:   rank(0.50),
+			P95:   rank(0.95),
+			Max:   ds[len(ds)-1],
+		})
+	}
+	return out
+}
+
+// PhaseTable renders the per-phase timing distribution as a table —
+// the corpus-level answer to "where does the pipeline spend its
+// time". Empty when no module carried timings.
+func (r *CorpusResult) PhaseTable() string {
+	stats := r.PhaseStats()
+	if len(stats) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-phase timing over %d module(s)\n", r.Analyzed())
+	fmt.Fprintf(&b, "  %-10s %8s %12s %12s %12s\n", "phase", "modules", "p50", "p95", "max")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "  %-10s %8d %12v %12v %12v\n",
+			s.Phase, s.Count,
+			s.P50.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond))
 	}
 	return b.String()
 }

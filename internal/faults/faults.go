@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"localalias/internal/obs"
 )
 
 // Phase identifies the pipeline stage that was executing when a
@@ -33,6 +35,12 @@ const (
 	PhaseSolve     Phase = "solve"     // constraint solving
 	PhaseQual      Phase = "qual"      // flow-sensitive qualifier analysis
 )
+
+// Phases returns the pipeline phases in execution order, for code
+// that renders per-phase tables in a canonical order.
+func Phases() []Phase {
+	return []Phase{PhaseGenerate, PhaseParse, PhaseTypecheck, PhaseInfer, PhaseSolve, PhaseQual}
+}
 
 // Kind classifies a module failure.
 type Kind string
@@ -79,11 +87,37 @@ type Trace struct {
 	start   time.Time
 	order   []Phase
 	elapsed map[Phase]time.Duration
+	// spans, when non-nil, receives one obs span per phase interval as
+	// it closes — the bridge from coarse phase tracking to real
+	// request tracing. nil (the default) costs nothing.
+	spans *obs.Trace
 }
 
 // NewTrace starts a trace for the named module.
 func NewTrace(module string) *Trace {
 	return &Trace{module: module, elapsed: make(map[Phase]time.Duration)}
+}
+
+// SetSpans attaches an obs trace: every phase interval the trace
+// closes from now on is also recorded as a span (category "phase").
+// Safe on a nil Trace, and a nil ot detaches.
+func (t *Trace) SetSpans(ot *obs.Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = ot
+	t.mu.Unlock()
+}
+
+// Spans returns the attached obs trace (nil when tracing is off).
+func (t *Trace) Spans() *obs.Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
 }
 
 // Enter marks the start of phase p, closing the timing of the phase
@@ -99,7 +133,10 @@ func (t *Trace) Enter(p Phase) {
 	t.phase, t.start = p, now
 }
 
-// closeLocked folds the currently open phase into the accumulator.
+// closeLocked folds the currently open phase into the accumulator
+// and, when an obs trace is attached, emits the interval as a span.
+// A phase interrupted and re-entered emits one span per interval —
+// exactly what a trace viewer should show.
 func (t *Trace) closeLocked(now time.Time) {
 	if t.phase == "" {
 		return
@@ -107,7 +144,10 @@ func (t *Trace) closeLocked(now time.Time) {
 	if _, seen := t.elapsed[t.phase]; !seen {
 		t.order = append(t.order, t.phase)
 	}
-	t.elapsed[t.phase] += now.Sub(t.start)
+	if d := now.Sub(t.start); d >= 0 {
+		t.elapsed[t.phase] += d
+		t.spans.Add(string(t.phase), "phase", t.start, d)
+	}
 	t.start = now
 }
 

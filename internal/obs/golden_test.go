@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeExportGolden pins the exact bytes of the Chrome
+// trace_event export for a fixed two-trace scenario. Trace IDs are
+// the only nondeterministic part of the output (timestamps are
+// caller-supplied), so they are normalized to stable placeholders
+// before comparison. Regenerate with `go test ./internal/obs -run
+// Golden -update` after an intentional format change.
+func TestChromeExportGolden(t *testing.T) {
+	origin := time.Unix(1700000000, 0).UTC()
+	a := NewTrace("alpha.mc")
+	a.Add("parse", "phase", origin, 1500*time.Microsecond)
+	a.Add("typecheck", "phase", origin.Add(1500*time.Microsecond), 2*time.Millisecond)
+	a.Add("solve", "phase", origin.Add(3500*time.Microsecond), 4*time.Millisecond, "atoms", "42")
+	a.Add("analyze", "request", origin, 8*time.Millisecond, "module", "alpha.mc", "mode", "qual")
+	b := NewTrace("beta.mc")
+	b.Add("parse", "phase", origin.Add(time.Millisecond), time.Millisecond)
+	b.Add("analyze", "request", origin.Add(time.Millisecond), 3*time.Millisecond, "module", "beta.mc", "mode", "check")
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraces(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	got = strings.ReplaceAll(got, a.ID(), "TRACE-A")
+	got = strings.ReplaceAll(got, b.ID(), "TRACE-B")
+
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("chrome export deviates from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,582 @@
+// Package obs is the zero-dependency observability layer of the
+// toolkit: a process-wide metrics registry (atomic counters, gauges,
+// and fixed-bucket latency histograms), per-request span traces with
+// unique trace IDs, and exporters for both — JSON and Prometheus text
+// exposition for metrics, Chrome trace_event JSON for traces.
+//
+// Design constraints, in order:
+//
+//   - The disabled path must cost nothing measurable. Every handle is
+//     nil-safe (method calls on a nil *Counter, *Histogram, or *Trace
+//     are no-ops), and the always-on counters amount to a handful of
+//     atomic adds per analysis, recorded once per solve rather than
+//     per propagation step. The instrumentation-overhead benchmark
+//     (BENCH_obs.json) keeps this honest: <2% on SolverPropagation.
+//   - Metric values must never ride in the canonical wire body of an
+//     AnalyzeResponse — cached responses stay byte-stable. Timings
+//     travel in headers, access logs, and the /v1/metrics endpoint.
+//   - No third-party dependencies: the registry speaks the Prometheus
+//     text exposition format directly and the trace exporter writes
+//     the Chrome trace_event JSON schema directly.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------------
+// Instruments
+
+// Counter is a monotonically increasing atomic counter. All methods
+// are safe on a nil receiver (no-ops), so call sites never branch on
+// whether instrumentation is wired up.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBounds are the fixed histogram bucket upper bounds
+// used for analysis latencies: 50µs to 10s, roughly 2.5× apart. A
+// parse of a small module lands in the first buckets; a pathological
+// solve near its 2-minute deadline lands in the overflow bucket, whose
+// exact maximum is tracked separately.
+var DefaultLatencyBounds = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram: lock-free Observe
+// (one atomic add into the bucket, plus count/sum/max updates), exact
+// count/sum/max, and quantile estimates by linear interpolation within
+// the matched bucket.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// upper bounds (nil selects DefaultLatencyBounds). Standalone
+// histograms (outside any registry) are how batch drivers aggregate
+// per-phase timings without touching process-wide state.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration (negative values clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts is per-bucket (not cumulative) and one longer than Bounds:
+// the final entry is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// Snapshot copies the current state. Under concurrent Observe traffic
+// the per-bucket counts may lag Count by in-flight observations; each
+// individual counter is still monotonic.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sum.Load()),
+		Max:    time.Duration(h.max.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear
+// interpolation within the bucket holding the target rank. Ranks
+// falling in the overflow bucket report the tracked maximum.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	seen := uint64(0)
+	for i, c := range s.Counts {
+		if seen+c <= rank {
+			seen += c
+			continue
+		}
+		if i == len(s.Bounds) { // overflow bucket
+			return s.Max
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (float64(rank-seen) + 0.5) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return s.Max
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+// metricKind discriminates the registry's instrument types.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labeled instance within a metric family.
+type series struct {
+	labels  string // rendered `k="v",k2="v2"` form, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() int64 // callback gauges (queue depth, cache entries)
+	hist    *Histogram
+}
+
+// family is one named metric with its help text and every labeled
+// series, in registration order.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	order  []string
+	series map[string]*series
+}
+
+// Registry is a set of named metrics. Registration is
+// get-or-create: asking for the same family+labels twice returns the
+// same instrument, so packages can look handles up at init without
+// coordinating ownership. All methods are safe for concurrent use;
+// the instruments themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry behind Default().
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry: the one the app-level
+// metric set (App) registers into and /v1/metrics exposes.
+func Default() *Registry { return defaultRegistry }
+
+// renderLabels turns a flat k,v,k,v list into `k="v",k2="v2"`.
+// Values are escaped per the Prometheus text format.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup finds or creates the series for family name + labels.
+func (r *Registry) lookup(name, help string, kind metricKind, kv []string) *series {
+	labels := renderLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels}
+		f.series[labels] = s
+		f.order = append(f.order, labels)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. kv is a flat key,value,key,value list.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	s := r.lookup(name, help, kindCounter, kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	s := r.lookup(name, help, kindGauge, kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers (or replaces) a callback gauge: fn is invoked
+// at scrape time. Replacement semantics let a new Server instance
+// re-bind the queue-depth gauge without unregistering the old one —
+// the last registrant wins, which is the live instance.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, kv ...string) {
+	s := r.lookup(name, help, kindGauge, kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.gaugeFn = fn
+}
+
+// Histogram returns the histogram for name+labels, creating it with
+// the given bounds (nil = DefaultLatencyBounds) on first use.
+func (r *Registry) Histogram(name, help string, bounds []time.Duration, kv ...string) *Histogram {
+	s := r.lookup(name, help, kindHistogram, kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// ---------------------------------------------------------------------
+// Exposition
+
+// seriesJSON is one labeled series in the JSON exposition.
+type seriesJSON struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counter / gauge value.
+	Value *int64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count  *uint64      `json:"count,omitempty"`
+	SumNs  *int64       `json:"sum_ns,omitempty"`
+	MaxNs  *int64       `json:"max_ns,omitempty"`
+	P50Ns  *int64       `json:"p50_ns,omitempty"`
+	P95Ns  *int64       `json:"p95_ns,omitempty"`
+	Bucket []bucketJSON `json:"buckets,omitempty"`
+}
+
+type bucketJSON struct {
+	LeNs  int64  `json:"le_ns"` // -1 encodes +Inf
+	Count uint64 `json:"count"` // cumulative, Prometheus-style
+}
+
+// metricJSON is one family in the JSON exposition.
+type metricJSON struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []seriesJSON `json:"series"`
+}
+
+// parseLabels inverts renderLabels for the JSON exposition (labels
+// are stored rendered; JSON wants a map).
+func parseLabels(rendered string) map[string]string {
+	if rendered == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, part := range strings.Split(rendered, `",`) {
+		eq := strings.Index(part, `="`)
+		if eq < 0 {
+			continue
+		}
+		out[part[:eq]] = strings.TrimSuffix(part[eq+2:], `"`)
+	}
+	return out
+}
+
+// snapshotLocked copies the family/series structure under r.mu so the
+// (lock-free) instrument reads happen outside the registry lock.
+func (r *Registry) snapshot() []metricJSON {
+	type seriesRef struct {
+		labels string
+		s      *series
+	}
+	type familyRef struct {
+		name, help string
+		kind       metricKind
+		series     []seriesRef
+	}
+	r.mu.Lock()
+	fams := make([]familyRef, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fr := familyRef{name: f.name, help: f.help, kind: f.kind}
+		for _, l := range f.order {
+			fr.series = append(fr.series, seriesRef{labels: l, s: f.series[l]})
+		}
+		fams = append(fams, fr)
+	}
+	r.mu.Unlock()
+
+	out := make([]metricJSON, 0, len(fams))
+	for _, fr := range fams {
+		m := metricJSON{Name: fr.name, Type: string(fr.kind), Help: fr.help}
+		for _, sr := range fr.series {
+			sj := seriesJSON{Labels: parseLabels(sr.labels)}
+			switch fr.kind {
+			case kindCounter:
+				v := int64(sr.s.counter.Value())
+				sj.Value = &v
+			case kindGauge:
+				var v int64
+				if sr.s.gaugeFn != nil {
+					v = sr.s.gaugeFn()
+				} else {
+					v = sr.s.gauge.Value()
+				}
+				sj.Value = &v
+			case kindHistogram:
+				hs := sr.s.hist.Snapshot()
+				count, sum, max := hs.Count, int64(hs.Sum), int64(hs.Max)
+				p50, p95 := int64(hs.Quantile(0.50)), int64(hs.Quantile(0.95))
+				sj.Count, sj.SumNs, sj.MaxNs, sj.P50Ns, sj.P95Ns = &count, &sum, &max, &p50, &p95
+				cum := uint64(0)
+				for i, c := range hs.Counts {
+					cum += c
+					le := int64(-1)
+					if i < len(hs.Bounds) {
+						le = int64(hs.Bounds[i])
+					}
+					sj.Bucket = append(sj.Bucket, bucketJSON{LeNs: le, Count: cum})
+				}
+			}
+			m.Series = append(m.Series, sj)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON writes the whole registry as an indented JSON document:
+// {"metrics": [...]} with families in registration order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"metrics": r.snapshot()})
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4). Histogram bucket boundaries are
+// rendered in seconds, as the convention requires.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		for _, s := range m.Series {
+			labels := promLabels(s.Labels)
+			switch m.Type {
+			case "counter", "gauge":
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, labels, *s.Value); err != nil {
+					return err
+				}
+			case "histogram":
+				for _, b := range s.Bucket {
+					le := "+Inf"
+					if b.LeNs >= 0 {
+						le = formatSeconds(b.LeNs)
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						m.Name, promLabelsLe(s.Labels, le), b.Count); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labels, formatSeconds(*s.SumNs)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labels, *s.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds literal
+// without float formatting jitter.
+func formatSeconds(ns int64) string {
+	s := fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// promLabels renders a label map in sorted-key order.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelsLe renders labels plus the histogram `le` bound.
+func promLabelsLe(labels map[string]string, le string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, k := range keys {
+		fmt.Fprintf(&b, `%s="%s",`, k, escapeLabel(labels[k]))
+	}
+	fmt.Fprintf(&b, `le="%s"}`, le)
+	return b.String()
+}

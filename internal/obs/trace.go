@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------------
+// Trace IDs
+
+// traceSeed distinguishes trace IDs across processes; traceCounter
+// distinguishes them within one. The splitmix64 finalizer is a
+// bijection over uint64, so distinct counter values always yield
+// distinct IDs — the uniqueness tests rely on this, not on chance.
+var (
+	traceSeed    = uint64(time.Now().UnixNano())
+	traceCounter atomic.Uint64
+)
+
+// splitmix64 is the splitmix64 output finalizer (a bijective mixer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID returns a 16-hex-character request trace ID, unique
+// within the process and statistically unique across processes.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", splitmix64(traceSeed+traceCounter.Add(1)))
+}
+
+// ---------------------------------------------------------------------
+// Spans
+
+// Span is one completed interval within a trace: a pipeline phase, a
+// cache probe, or the whole request. Args carry flat key,value pairs
+// (kept as a slice, not a map, so exports are deterministic).
+type Span struct {
+	Name  string
+	Cat   string // coarse category: "phase", "request", "cache", ...
+	Start time.Time
+	Dur   time.Duration
+	Args  []string
+}
+
+// Trace collects the spans of one request under a process-unique
+// trace ID. The zero of the type is never used; a nil *Trace is the
+// disabled state, and every method no-ops on it — instrumented code
+// paths never branch on whether tracing is on.
+type Trace struct {
+	id     string
+	module string
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace for the named module, assigning a
+// fresh trace ID.
+func NewTrace(module string) *Trace {
+	return &Trace{id: NewTraceID(), module: module}
+}
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Module returns the module name the trace was started for.
+func (t *Trace) Module() string {
+	if t == nil {
+		return ""
+	}
+	return t.module
+}
+
+// Add records one completed span. kv is a flat key,value list.
+func (t *Trace) Add(name, cat string, start time.Time, dur time.Duration, kv ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Cat: cat, Start: start, Dur: dur, Args: kv})
+	t.mu.Unlock()
+}
+
+// Start opens a span now and returns the closure that completes it;
+// extra key,value args may be supplied at close time.
+func (t *Trace) Start(name, cat string) func(kv ...string) {
+	if t == nil {
+		return func(...string) {}
+	}
+	start := time.Now()
+	return func(kv ...string) {
+		t.Add(name, cat, start, time.Since(start), kv...)
+	}
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event export
+//
+// The exporter writes the Chrome trace_event JSON format (the
+// chrome://tracing / Perfetto "JSON Array Format"): complete events
+// (ph "X") with microsecond timestamps, one tid per trace, plus
+// thread_name metadata events naming each trace's module.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes this trace alone; see WriteChromeTraces.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	return WriteChromeTraces(w, t)
+}
+
+// WriteChromeTraces renders the traces as one Chrome trace_event JSON
+// document ({"traceEvents": [...]}). Each trace becomes its own
+// "thread" (tid), named after its module and trace ID; timestamps are
+// relative to the earliest span across all traces, so the viewer's
+// origin is the first event rather than the process epoch.
+func WriteChromeTraces(w io.Writer, traces ...*Trace) error {
+	var origin time.Time
+	type flat struct {
+		tid   int
+		trace *Trace
+		spans []Span
+	}
+	var flats []flat
+	tid := 0
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		tid++
+		spans := t.Spans()
+		flats = append(flats, flat{tid: tid, trace: t, spans: spans})
+		for _, s := range spans {
+			if origin.IsZero() || s.Start.Before(origin) {
+				origin = s.Start
+			}
+		}
+	}
+	events := []chromeEvent{}
+	for _, f := range flats {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: f.tid,
+			Args: map[string]any{"name": fmt.Sprintf("%s [%s]", f.trace.Module(), f.trace.ID())},
+		})
+	}
+	for _, f := range flats {
+		for _, s := range f.spans {
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  s.Cat,
+				Ph:   "X",
+				Ts:   float64(s.Start.Sub(origin)) / float64(time.Microsecond),
+				Dur:  float64(s.Dur) / float64(time.Microsecond),
+				Pid:  1,
+				Tid:  f.tid,
+			}
+			if len(s.Args) >= 2 {
+				ev.Args = make(map[string]any, len(s.Args)/2+1)
+				for i := 0; i+1 < len(s.Args); i += 2 {
+					ev.Args[s.Args[i]] = s.Args[i+1]
+				}
+			}
+			if ev.Args == nil {
+				ev.Args = map[string]any{"trace_id": f.trace.ID()}
+			} else {
+				ev.Args["trace_id"] = f.trace.ID()
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

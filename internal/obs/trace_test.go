@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceIDUniqueness allocates IDs from many goroutines and
+// requires them all distinct — the splitmix64 mixer is bijective, so
+// this is a hard guarantee within a process, not a birthday bound.
+func TestTraceIDUniqueness(t *testing.T) {
+	const workers, per = 16, 2000
+	ids := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]string, per)
+			for i := range out {
+				out[i] = NewTraceID()
+			}
+			ids[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[string]bool, workers*per)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if len(id) != 16 {
+				t.Fatalf("trace ID %q is not 16 hex chars", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate trace ID %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("mod.mc")
+	if tr.ID() == "" || tr.Module() != "mod.mc" {
+		t.Fatal("trace identity not set")
+	}
+	start := time.Now()
+	tr.Add("parse", "phase", start, 3*time.Millisecond)
+	end := tr.Start("solve", "phase")
+	end("atoms", "17")
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	if spans[0].Name != "parse" || spans[0].Dur != 3*time.Millisecond {
+		t.Fatalf("bad first span: %+v", spans[0])
+	}
+	if spans[1].Name != "solve" || len(spans[1].Args) != 2 {
+		t.Fatalf("bad second span: %+v", spans[1])
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	origin := time.Unix(1000, 0)
+	a := NewTrace("a.mc")
+	a.Add("parse", "phase", origin, 2*time.Millisecond)
+	a.Add("solve", "phase", origin.Add(2*time.Millisecond), 5*time.Millisecond, "atoms", "9")
+	b := NewTrace("b.mc")
+	b.Add("parse", "phase", origin.Add(time.Millisecond), time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraces(&buf, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatal("displayTimeUnit missing")
+	}
+	// 2 thread_name metadata events + 3 spans.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("want 5 events, got %d", len(doc.TraceEvents))
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Fatalf("bad metadata event %+v", ev)
+			}
+		case "X":
+			complete++
+			if ev.Ts < 0 {
+				t.Fatalf("timestamp before origin: %+v", ev)
+			}
+			if ev.Args["trace_id"] == "" {
+				t.Fatalf("span without trace_id: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Fatalf("want 2 metadata + 3 complete events, got %d + %d", meta, complete)
+	}
+	// a's parse starts at the global origin; b's parse 1ms later.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Tid == 2 && ev.Name == "parse" {
+			if ev.Ts != 1000 { // µs
+				t.Fatalf("b.parse ts: got %v want 1000µs", ev.Ts)
+			}
+		}
+		if ev.Ph == "X" && ev.Name == "solve" {
+			if ev.Args["atoms"] != "9" {
+				t.Fatalf("span args lost: %+v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	App() // ensure the app metric set is registered
+	h := DebugHandler()
+	for path, want := range map[string]string{
+		"/metrics":      "lna_solve_total",
+		"/debug/pprof/": "profiles",
+		"/":             "debug listener",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("%s: body missing %q:\n%.400s", path, want, rec.Body.String())
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"localalias/internal/faults"
+)
+
+// Access-log formats accepted by ServerOptions.LogFormat.
+const (
+	// LogText renders one human-scannable line per request.
+	LogText = "text"
+	// LogJSON renders one JSON object per line (machine-ingestible).
+	LogJSON = "json"
+)
+
+// accessEntry is one HTTP request's log record. Every field the
+// operator needs to correlate a request with its trace and cache
+// behaviour rides here — and NOT in the response body, which must
+// stay byte-stable for caching.
+type accessEntry struct {
+	Time    time.Time `json:"time"`
+	Method  string    `json:"method"`
+	Path    string    `json:"path"`
+	Status  int       `json:"status"`
+	DurMs   float64   `json:"dur_ms"`
+	Trace   string    `json:"trace,omitempty"`
+	Cache   string    `json:"cache,omitempty"` // hit|miss (single analyze)
+	Module  string    `json:"module,omitempty"`
+	Mode    string    `json:"mode,omitempty"`
+	Modules int       `json:"modules,omitempty"` // batch size
+	Hits    int       `json:"hits,omitempty"`    // batch cache hits
+	Misses  int       `json:"misses,omitempty"`  // batch cache misses
+
+	// Phases is the per-phase wall-clock breakdown of a cold run
+	// (empty on cache hits — the work happened on the cold request).
+	Phases []faults.PhaseTiming `json:"phases,omitempty"`
+}
+
+// accessLogger serializes access entries to one writer in one of the
+// two formats. A nil logger (logging disabled) is a no-op.
+type accessLogger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	asJSON bool
+}
+
+// newAccessLogger builds a logger, or nil when w is nil or format
+// does not name a known format.
+func newAccessLogger(w io.Writer, format string) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	switch format {
+	case LogJSON:
+		return &accessLogger{w: w, asJSON: true}
+	case LogText, "":
+		return &accessLogger{w: w}
+	}
+	return nil
+}
+
+// log writes one entry; concurrent requests serialize on the mutex so
+// lines never interleave.
+func (l *accessLogger) log(e accessEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.asJSON {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		l.w.Write(append(data, '\n'))
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s %d %.1fms",
+		e.Time.Format(time.RFC3339), e.Method, e.Path, e.Status, e.DurMs)
+	if e.Trace != "" {
+		fmt.Fprintf(&b, " trace=%s", e.Trace)
+	}
+	if e.Cache != "" {
+		fmt.Fprintf(&b, " cache=%s", e.Cache)
+	}
+	if e.Module != "" {
+		fmt.Fprintf(&b, " module=%s", e.Module)
+	}
+	if e.Mode != "" {
+		fmt.Fprintf(&b, " mode=%s", e.Mode)
+	}
+	if e.Modules > 0 {
+		fmt.Fprintf(&b, " modules=%d hits=%d misses=%d", e.Modules, e.Hits, e.Misses)
+	}
+	if len(e.Phases) > 0 {
+		b.WriteString(" phases=")
+		b.WriteString(formatPhases(e.Phases))
+	}
+	b.WriteByte('\n')
+	io.WriteString(l.w, b.String())
+}
+
+// formatPhases renders phase timings as "parse:1.2ms,solve:3ms" — the
+// same compact form the X-Lna-Phases response header uses.
+func formatPhases(phases []faults.PhaseTiming) string {
+	var b strings.Builder
+	for i, pt := range phases {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%v", pt.Phase, pt.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// statusWriter captures the status code a handler wrote, for the
+// access log. WriteHeader-less handlers imply 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Status returns the captured status (200 when nothing was written).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

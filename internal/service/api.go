@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"localalias/internal/faults"
+	"localalias/internal/obs"
 	"localalias/internal/solve"
 	"localalias/internal/source"
 )
@@ -100,6 +101,13 @@ type AnalyzeRequest struct {
 	// contained like any other module fault. Never serialized, and
 	// requests carrying it are not cacheable by content hash.
 	Generate func(ctx context.Context) string `json:"-"`
+
+	// Obs, when non-nil, collects the request's spans (one per
+	// pipeline phase plus an enclosing request span) under a unique
+	// trace ID. Never serialized and deliberately outside the cache
+	// key: tracing a request does not change its canonical bytes.
+	// nil — the default — disables tracing at zero cost.
+	Obs *obs.Trace `json:"-"`
 }
 
 // Diagnostic is one positioned message in wire form.

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+
+	"localalias/internal/obs"
 )
 
 // CacheKey derives the content-hash cache key of a request: the
@@ -87,9 +89,11 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		obs.App().CacheMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	obs.App().CacheHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
@@ -111,6 +115,7 @@ func (c *Cache) Put(key string, val []byte) {
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
+		obs.App().CacheEvictions.Inc()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"localalias/internal/ast"
 	"localalias/internal/core"
 	"localalias/internal/faults"
+	"localalias/internal/obs"
 	"localalias/internal/qual"
 	"localalias/internal/restrict"
 	"localalias/internal/solve"
@@ -58,7 +59,9 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 		return resp
 	}
 
+	obs.App().Requests(mode).Inc()
 	tr := faults.NewTrace(name)
+	tr.SetSpans(req.Obs)
 	start := time.Now()
 	// The closure writes only these locals; on a timeout the abandoned
 	// goroutine may still be running, so they are read back only when
@@ -125,6 +128,20 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 	resp.Elapsed = time.Since(start)
 	resp.PhaseTimings = tr.Timings()
 	resp.Failure = fail
+
+	// Fold the request into the process-wide metrics (latency
+	// histograms and failure counters) and close the enclosing request
+	// span. Timings — like everything obs records — stay out of the
+	// canonical wire body, so cached responses replay byte-identically.
+	m := obs.App()
+	m.AnalyzeSeconds.Observe(resp.Elapsed)
+	for _, pt := range resp.PhaseTimings {
+		m.RecordPhase(string(pt.Phase), pt.Elapsed)
+	}
+	if fail != nil {
+		m.Failures(string(fail.Kind)).Inc()
+	}
+	req.Obs.Add("analyze", "request", start, resp.Elapsed, "module", name, "mode", mode)
 
 	// A non-timeout outcome means the analysis goroutine delivered its
 	// result, so the module (and its diagnostics) are safely ours. A

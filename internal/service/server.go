@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"localalias/internal/obs"
 )
 
 // Server defaults, overridable through ServerOptions.
@@ -48,6 +52,13 @@ type ServerOptions struct {
 	// RequestTimeout is the per-module analysis deadline
 	// (0 = DefaultRequestTimeout; negative = no deadline).
 	RequestTimeout time.Duration
+	// AccessLog, when non-nil, receives one line per HTTP request
+	// (method, path, status, duration, trace ID, cache disposition,
+	// phase timings). nil disables access logging.
+	AccessLog io.Writer
+	// LogFormat selects the access-log rendering: LogText (default)
+	// or LogJSON.
+	LogFormat string
 }
 
 // withDefaults resolves zero fields.
@@ -91,23 +102,54 @@ type Server struct {
 	slots chan struct{}
 	// queue bounds admitted single-module requests (waiting+running).
 	queue chan struct{}
+	// log is the access logger (nil = disabled).
+	log *accessLogger
 
 	draining atomic.Bool
 	requests atomic.Uint64 // single-module requests admitted
 	batches  atomic.Uint64 // batch requests admitted
 	rejected atomic.Uint64 // 429s + 503s
 	failures atomic.Uint64 // responses carrying a Failure record
+
+	// Process-wide mirrors of the HTTP-level counters, exposed through
+	// /v1/metrics alongside the engine's own instruments. mRequests
+	// counts every admitted single-module request (hits and misses
+	// both), where the engine's lna_requests_total only sees cold runs.
+	mRequests *obs.Counter
+	mRejected *obs.Counter
+	mBatches  *obs.Counter
 }
 
 // NewServer builds a Server (see ServerOptions for the knobs).
 func NewServer(opts ServerOptions) *Server {
 	o := opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:  o,
 		cache: NewCache(o.CacheEntries),
 		slots: make(chan struct{}, o.Workers),
 		queue: make(chan struct{}, o.QueueDepth),
+		log:   newAccessLogger(o.AccessLog, o.LogFormat),
 	}
+	reg := obs.Default()
+	s.mRequests = reg.Counter("lna_http_requests_total",
+		"Single-module requests admitted (cache hits included).")
+	s.mRejected = reg.Counter("lna_http_rejected_total",
+		"HTTP requests refused with 429 (queue full) or 503 (draining).")
+	s.mBatches = reg.Counter("lna_http_batches_total",
+		"Batch submissions admitted.")
+	// GaugeFunc re-registration binds the live gauges to the newest
+	// Server — exactly what a process that rebuilds its server (tests,
+	// config reload) wants.
+	reg.GaugeFunc("lna_queue_depth",
+		"Admitted-but-unfinished single-module requests (waiting + running).",
+		func() int64 { return int64(len(s.queue)) })
+	reg.GaugeFunc("lna_inflight_analyses",
+		"Analyses currently holding a worker slot.",
+		func() int64 { return int64(len(s.slots)) })
+	reg.GaugeFunc("lna_cache_entries",
+		"Entries resident in the result cache.",
+		func() int64 { return int64(s.cache.Stats().Entries) })
+	return s
 }
 
 // Options returns the resolved configuration.
@@ -136,7 +178,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the process-wide metrics registry: JSON by
+// default, Prometheus text exposition when the client asks for it
+// with ?format=prometheus or an Accept: text/plain header.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	format := r.URL.Query().Get("format")
+	if format == "prometheus" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+		return
+	}
+	if format != "" && format != "json" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json|prometheus)", format)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = reg.WriteJSON(w)
 }
 
 // httpError writes a JSON error body with the given status.
@@ -207,9 +270,18 @@ func (s *Server) acquireSlot(ctx context.Context) bool {
 
 func (s *Server) releaseSlot() { <-s.slots }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &statusWriter{ResponseWriter: rw}
+	entry := accessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
+	defer func() {
+		entry.Status = w.Status()
+		entry.DurMs = float64(time.Since(start)) / float64(time.Millisecond)
+		s.log.log(entry)
+	}()
 	if s.draining.Load() {
 		s.rejected.Add(1)
+		s.mRejected.Inc()
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -221,6 +293,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	entry.Module, entry.Mode = req.Module, req.Options.Mode
 	// Backpressure: admission is non-blocking. A full queue means the
 	// pool is RequestTimeout-deep in work already; asking the client
 	// to retry beats an unbounded backlog.
@@ -229,26 +302,43 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.queue }()
 	default:
 		s.rejected.Add(1)
+		s.mRejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight)", s.opts.QueueDepth)
 		return
 	}
 	s.requests.Add(1)
+	s.mRequests.Inc()
+	// Every daemon request is traced: the spans cost microseconds next
+	// to an analysis, and the trace ID is what lets an operator join
+	// the access log, the response headers, and an exported trace.
+	ot := obs.NewTrace(req.Module)
+	req.Obs = ot
+	entry.Trace = ot.ID()
 	if !s.acquireSlot(r.Context()) {
 		return // client went away while queued
 	}
 	defer s.releaseSlot()
-	data, key, hit, _, err := s.runCached(r.Context(), &req)
+	data, key, hit, resp, err := s.runCached(r.Context(), &req)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Lna-Cache-Key", key)
+	w.Header().Set("X-Lna-Trace", ot.ID())
 	if hit {
 		w.Header().Set("X-Lna-Cache", "hit")
+		entry.Cache = "hit"
 	} else {
 		w.Header().Set("X-Lna-Cache", "miss")
+		entry.Cache = "miss"
+	}
+	// Per-phase timings ride in a header (and the access log), never in
+	// the canonical body — cached responses must replay byte-identically.
+	if resp != nil && len(resp.PhaseTimings) > 0 {
+		entry.Phases = resp.PhaseTimings
+		w.Header().Set("X-Lna-Phases", formatPhases(resp.PhaseTimings))
 	}
 	_, _ = w.Write(data)
 }
@@ -259,10 +349,13 @@ type BatchRequest struct {
 }
 
 // BatchEntry is one module's outcome within a batch: the canonical
-// AnalyzeResponse plus its cache disposition.
+// AnalyzeResponse plus its cache disposition and trace ID. The
+// Response bytes are the cacheable canonical shape; Cached, CacheKey,
+// and TraceID are batch-envelope metadata and never enter the cache.
 type BatchEntry struct {
 	Cached   bool            `json:"cached"`
 	CacheKey string          `json:"cache_key"`
+	TraceID  string          `json:"trace_id"`
 	Response json.RawMessage `json:"response"`
 }
 
@@ -282,9 +375,18 @@ type BatchResponse struct {
 	Summary BatchSummary `json:"summary"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &statusWriter{ResponseWriter: rw}
+	entry := accessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
+	defer func() {
+		entry.Status = w.Status()
+		entry.DurMs = float64(time.Since(start)) / float64(time.Millisecond)
+		s.log.log(entry)
+	}()
 	if s.draining.Load() {
 		s.rejected.Add(1)
+		s.mRejected.Inc()
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -307,10 +409,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.batches.Add(1)
+	s.mBatches.Inc()
+	entry.Modules = len(batch.Requests)
 
 	// Fan the batch across the worker pool. Entries stream through the
 	// shared slots, so one batch cannot starve concurrent requests of
-	// more than its fair share of workers.
+	// more than its fair share of workers. Each entry gets its own
+	// trace, so a slow module inside a big batch is attributable.
 	out := BatchResponse{Results: make([]BatchEntry, len(batch.Requests))}
 	var (
 		wg sync.WaitGroup
@@ -320,15 +425,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			req := &batch.Requests[i]
+			ot := obs.NewTrace(req.Module)
+			req.Obs = ot
+			out.Results[i].TraceID = ot.ID()
 			if !s.acquireSlot(r.Context()) {
 				return
 			}
 			defer s.releaseSlot()
-			data, key, hit, resp, err := s.runCached(r.Context(), &batch.Requests[i])
+			data, key, hit, resp, err := s.runCached(r.Context(), req)
 			if err != nil {
 				data, _ = json.Marshal(map[string]string{"error": err.Error()})
 			}
-			out.Results[i] = BatchEntry{Cached: hit, CacheKey: key, Response: data}
+			out.Results[i].Cached = hit
+			out.Results[i].CacheKey = key
+			out.Results[i].Response = data
 			mu.Lock()
 			defer mu.Unlock()
 			if hit {
@@ -349,7 +460,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return // client went away mid-batch
 	}
 	out.Summary.Modules = len(batch.Requests)
+	entry.Hits, entry.Misses = out.Summary.CacheHits, out.Summary.CacheMisses
 	w.Header().Set("Content-Type", "application/json")
+	// Per-item cache dispositions, index-aligned with the submitted
+	// requests, so clients can spot cold entries without parsing the
+	// body (see the header table in DESIGN.md).
+	dispositions := make([]string, len(out.Results))
+	for i, res := range out.Results {
+		if res.Cached {
+			dispositions[i] = "hit"
+		} else {
+			dispositions[i] = "miss"
+		}
+	}
+	w.Header().Set("X-Lna-Cache", strings.Join(dispositions, ","))
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(out)

@@ -1,0 +1,321 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"localalias/internal/obs"
+)
+
+// metricValue digs one counter's value out of a /v1/metrics JSON
+// snapshot (the sum over its series). Missing metrics count as 0.
+func metricValue(t *testing.T, doc map[string]any, name string) float64 {
+	t.Helper()
+	metrics, _ := doc["metrics"].([]any)
+	var total float64
+	for _, m := range metrics {
+		mm := m.(map[string]any)
+		if mm["name"] != name {
+			continue
+		}
+		for _, s := range mm["series"].([]any) {
+			sm := s.(map[string]any)
+			if v, ok := sm["value"].(float64); ok {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+func scrapeJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("metrics content type = %q, want JSON", ct)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("metrics body is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	return doc
+}
+
+// TestMetricsEndpointShape: /v1/metrics serves the registry as JSON by
+// default and as Prometheus text on request, and both carry the
+// instruments this PR wires through the pipeline.
+func TestMetricsEndpointShape(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{})
+	// Run one request so the request-scoped series exist.
+	readBody(t, postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Module: "shape.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck}}))
+
+	doc := scrapeJSON(t, ts.URL)
+	for _, name := range []string{
+		"lna_requests_total",
+		"lna_analyze_seconds",
+		"lna_phase_seconds",
+		"lna_cache_hits_total",
+		"lna_cache_misses_total",
+		"lna_queue_depth",
+		"lna_solve_total",
+	} {
+		metrics, _ := doc["metrics"].([]any)
+		found := false
+		for _, m := range metrics {
+			if m.(map[string]any)["name"] == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("metric %s missing from /v1/metrics", name)
+		}
+	}
+
+	// Prometheus exposition: via ?format= and via Accept.
+	for _, u := range []string{
+		ts.URL + "/v1/metrics?format=prometheus",
+	} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := string(readBody(t, resp))
+		if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+			t.Fatalf("prometheus content type = %q", resp.Header.Get("Content-Type"))
+		}
+		for _, want := range []string{"# TYPE lna_requests_total counter", "# TYPE lna_analyze_seconds histogram", "lna_analyze_seconds_bucket{le=\"+Inf\"}"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("prometheus exposition missing %q", want)
+			}
+		}
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := string(readBody(t, resp)); !strings.Contains(body, "# HELP") {
+		t.Error("Accept: text/plain did not select the Prometheus form")
+	}
+
+	// Unknown formats are a client error, not a silent default.
+	resp, err = http.Get(ts.URL + "/v1/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("format=xml status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsMonotonicUnderLoad hammers the server from many
+// goroutines while scraping /v1/metrics concurrently, then checks the
+// counters moved monotonically by exactly the submitted work. Run
+// under -race this also proves the registry and the instrumented
+// request path are data-race free.
+func TestMetricsMonotonicUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{Workers: 4, QueueDepth: 1 << 16})
+	before := scrapeJSON(t, ts.URL)
+	reqBefore := metricValue(t, before, "lna_http_requests_total")
+	hitsBefore := metricValue(t, before, "lna_cache_hits_total")
+
+	const workers, perWorker = 8, 10
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		last := reqBefore
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := metricValue(t, scrapeJSON(t, ts.URL), "lna_http_requests_total")
+			if cur < last {
+				t.Errorf("lna_http_requests_total went backwards: %v -> %v", last, cur)
+				return
+			}
+			last = cur
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Half the requests share one module (cache traffic),
+				// half are distinct (engine traffic).
+				mod := fmt.Sprintf("shared-%d.mc", w%2)
+				resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+					Module: mod, Source: cleanCheckSrc,
+					Options: AnalyzeOptions{Mode: ModeCheck}})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("analyze status = %d", resp.StatusCode)
+				}
+				if resp.Header.Get("X-Lna-Trace") == "" {
+					t.Error("response missing X-Lna-Trace header")
+				}
+				readBody(t, resp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	after := scrapeJSON(t, ts.URL)
+	total := workers * perWorker
+	if got := metricValue(t, after, "lna_http_requests_total") - reqBefore; got != float64(total) {
+		t.Errorf("lna_http_requests_total moved by %v, want %d", got, total)
+	}
+	// Two distinct cache keys, so all but two requests were hits.
+	if got := metricValue(t, after, "lna_cache_hits_total") - hitsBefore; got != float64(total-2) {
+		t.Errorf("lna_cache_hits_total moved by %v, want %d", got, total-2)
+	}
+}
+
+// TestBatchTraceIDsUnique submits a 200-module batch and requires a
+// distinct trace ID per entry plus an index-aligned per-item cache
+// disposition header.
+func TestBatchTraceIDsUnique(t *testing.T) {
+	_, ts := newTestServer(t, ServerOptions{})
+	const n = 200
+	batch := BatchRequest{Requests: make([]AnalyzeRequest, n)}
+	for i := range batch.Requests {
+		batch.Requests[i] = AnalyzeRequest{
+			Module: fmt.Sprintf("m%03d.mc", i), Source: cleanCheckSrc,
+			Options: AnalyzeOptions{Mode: ModeCheck},
+		}
+	}
+	// Prime one module so the batch sees both dispositions.
+	readBody(t, postJSON(t, ts.URL+"/v1/analyze", batch.Requests[0]))
+
+	resp := postJSON(t, ts.URL+"/v1/batch", batch)
+	dispositions := strings.Split(resp.Header.Get("X-Lna-Cache"), ",")
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("batch response: %v", err)
+	}
+	if len(out.Results) != n || len(dispositions) != n {
+		t.Fatalf("got %d results, %d header dispositions, want %d", len(out.Results), len(dispositions), n)
+	}
+	seen := make(map[string]bool, n)
+	for i, res := range out.Results {
+		if len(res.TraceID) != 16 {
+			t.Fatalf("entry %d: trace ID %q is not 16 hex chars", i, res.TraceID)
+		}
+		if seen[res.TraceID] {
+			t.Fatalf("entry %d: duplicate trace ID %q", i, res.TraceID)
+		}
+		seen[res.TraceID] = true
+		want := "miss"
+		if res.Cached {
+			want = "hit"
+		}
+		if dispositions[i] != want {
+			t.Errorf("entry %d: header says %q, body says %q", i, dispositions[i], want)
+		}
+	}
+	if !out.Results[0].Cached {
+		t.Error("primed module should have been a cache hit")
+	}
+}
+
+// TestAccessLogFormats: both renderings carry the fields an operator
+// joins on (trace ID, cache disposition, phase timings), and cached
+// responses stay byte-identical whether or not logging is on.
+func TestAccessLogFormats(t *testing.T) {
+	var textBuf, jsonBuf bytes.Buffer
+	req := AnalyzeRequest{Module: "logged.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck}}
+
+	_, textTS := newTestServer(t, ServerOptions{AccessLog: &textBuf, LogFormat: LogText})
+	coldBody := readBody(t, postJSON(t, textTS.URL+"/v1/analyze", req))
+	hitBody := readBody(t, postJSON(t, textTS.URL+"/v1/analyze", req))
+	if !bytes.Equal(coldBody, hitBody) {
+		t.Fatal("cached response bytes differ from cold run with logging enabled")
+	}
+	lines := strings.Split(strings.TrimSpace(textBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 text log lines, got %d:\n%s", len(lines), textBuf.String())
+	}
+	if !strings.Contains(lines[0], "cache=miss") || !strings.Contains(lines[0], "phases=") ||
+		!strings.Contains(lines[0], "trace=") || !strings.Contains(lines[0], "module=logged.mc") {
+		t.Errorf("cold text line missing fields: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "cache=hit") {
+		t.Errorf("hit text line missing cache=hit: %s", lines[1])
+	}
+
+	_, jsonTS := newTestServer(t, ServerOptions{AccessLog: &jsonBuf, LogFormat: LogJSON})
+	resp := postJSON(t, jsonTS.URL+"/v1/analyze", req)
+	trace := resp.Header.Get("X-Lna-Trace")
+	readBody(t, resp)
+	var entry struct {
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		DurMs  float64 `json:"dur_ms"`
+		Trace  string  `json:"trace"`
+		Cache  string  `json:"cache"`
+		Module string  `json:"module"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("json log line: %v\n%s", err, jsonBuf.String())
+	}
+	if entry.Method != "POST" || entry.Path != "/v1/analyze" || entry.Status != 200 ||
+		entry.Module != "logged.mc" || entry.Trace != trace {
+		t.Errorf("json log entry fields wrong: %+v (want trace %s)", entry, trace)
+	}
+}
+
+// TestEngineTracePhases: a traced request collects one span per
+// executed phase plus the enclosing request span, all under one ID —
+// and the trace is exportable as Chrome JSON.
+func TestEngineTracePhases(t *testing.T) {
+	ot := obs.NewTrace("traced.mc")
+	resp := Analyze(t.Context(), &AnalyzeRequest{
+		Module: "traced.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeQual},
+		Obs:     ot,
+	})
+	if resp.Failure != nil {
+		t.Fatalf("analysis failed: %v", resp.Failure)
+	}
+	spans := ot.Spans()
+	names := make(map[string]bool)
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"parse", "typecheck", "infer", "solve", "qual", "analyze"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span (got %v)", want, names)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ot.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ot.ID()) {
+		t.Error("chrome export does not carry the trace ID")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"localalias/internal/effects"
 	"localalias/internal/faults"
 	"localalias/internal/locs"
+	"localalias/internal/obs"
 )
 
 // Result is the least solution of a constraint system, together with
@@ -357,6 +358,13 @@ func SolveCtx(ctx context.Context, sys *effects.System) *Result {
 	s.res.Stats.Vars = g.nvar
 	s.res.Stats.Atoms = s.in.Len()
 	s.res.AtomsPropagated = s.res.Stats.AtomsPropagated
+
+	// Fold the per-solve work counters into the process-wide metrics
+	// registry: a handful of atomic adds once per solve, so the
+	// propagation loop itself carries zero instrumentation.
+	st := &s.res.Stats
+	obs.App().RecordSolve(st.AtomsPropagated, st.IntersectionArrivals,
+		st.CondFirings, st.Unifications, st.Recanonicalizations)
 	return s.res
 }
 
