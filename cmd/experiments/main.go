@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -63,6 +64,7 @@ func main() {
 		csvPath       = flag.String("csv", "", "also write per-module results as CSV to this file")
 		benchJSON     = flag.String("bench-json", "", "run the solver benchmarks, write ns/op as JSON to this file (- for stdout), and exit")
 		benchObsJSON  = flag.String("bench-obs-json", "", "run the observability-overhead benchmarks (tracing disabled vs enabled), write ns/op as JSON to this file (- for stdout), and exit")
+		benchParJSON  = flag.String("bench-parallel-json", "", "run the parallel-solver benchmarks (sequential unpooled vs pooled partitioned, interleaved, at GOMAXPROCS 1/2/4), write the report as JSON to this file (- for stdout), and exit")
 		phases        = flag.Bool("phases", false, "also print the per-phase p50/p95/max timing table with the summary")
 		quiet         = flag.Bool("q", false, "suppress progress output")
 		moduleTimeout = flag.Duration("module-timeout", 2*time.Minute, "per-module analysis deadline (0 disables it)")
@@ -116,6 +118,29 @@ func main() {
 			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchObsJSON)
+		}
+		return
+	}
+
+	if *benchParJSON != "" {
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+			fmt.Fprintln(progress, "running parallel-solver benchmarks (interleaved before/after pairs; this takes a few minutes)...")
+		}
+		data, err := experiments.RunParallelBenchJSON(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *benchParJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchParJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchParJSON)
 		}
 		return
 	}

@@ -110,13 +110,45 @@ func (s *Set) Clear() {
 // growth copies into a fresh slice, so the shared backing is never
 // written past a set's own window.
 func Arena(n, words int) []Set {
-	sets := make([]Set, n)
+	var b ArenaBuf
+	return b.Carve(n, words)
+}
+
+// ArenaBuf is a reusable backing for Arena carvings: a pooled solver
+// checks one out per solve and calls Carve instead of Arena, so the
+// steady state re-zeroes one retained allocation instead of making a
+// fresh one. The zero value is ready for use.
+type ArenaBuf struct {
+	words []uint64
+	sets  []Set
+}
+
+// Carve returns n sets each pre-sized for members below words×64,
+// reusing the buffer's backing storage when it is large enough (the
+// reused region is zeroed). The returned slice and its sets remain
+// valid until the next Carve; callers must not use them past that.
+func (b *ArenaBuf) Carve(n, words int) []Set {
+	if cap(b.sets) >= n {
+		b.sets = b.sets[:n]
+		for i := range b.sets {
+			b.sets[i].words = nil
+		}
+	} else {
+		b.sets = make([]Set, n)
+	}
+	sets := b.sets
 	if words <= 0 || n == 0 {
 		return sets
 	}
-	backing := make([]uint64, n*words)
+	need := n * words
+	if cap(b.words) >= need {
+		b.words = b.words[:need]
+		clear(b.words)
+	} else {
+		b.words = make([]uint64, need)
+	}
 	for i := range sets {
-		sets[i].words = backing[i*words : (i+1)*words : (i+1)*words]
+		sets[i].words = b.words[i*words : (i+1)*words : (i+1)*words]
 	}
 	return sets
 }

@@ -61,6 +61,10 @@ type Options struct {
 	// Trace, when non-nil, records phase transitions (typecheck/
 	// infer/solve) for fault attribution in corpus runs.
 	Trace *faults.Trace
+	// SolverWorkers bounds the partitioned constraint solver's
+	// concurrency; <= 1 solves sequentially. Results are identical
+	// either way.
+	SolverWorkers int
 }
 
 // Result reports a confine inference run.
@@ -116,7 +120,7 @@ func InferAndApply(prog *ast.Program, diags *source.Diagnostics, opts Options) (
 		return res, fmt.Errorf("confine: inference failed on the planted program: %w", diags.Err())
 	}
 	opts.Trace.Enter(faults.PhaseSolve)
-	res.Solution = solve.SolveCtx(opts.Ctx, res.Infer.Sys)
+	res.Solution = solve.SolveWorkers(opts.Ctx, res.Infer.Sys, opts.SolverWorkers)
 	if effects.ReportMalformed(diags, prog.File, res.Solution.Malformed()) {
 		return res, fmt.Errorf("confine: %w", diags.Err())
 	}

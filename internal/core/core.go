@@ -80,7 +80,13 @@ func (m *Module) CheckAnnotations() *restrict.CheckResult {
 // InferRestrict runs restrict inference (Section 5), marking
 // successful lets in the AST.
 func (m *Module) InferRestrict(params bool) *restrict.InferResult {
-	return restrict.Infer(m.TInfo, m.Diags, restrict.Options{Params: params})
+	return m.InferRestrictWith(restrict.Options{Params: params})
+}
+
+// InferRestrictWith is InferRestrict with full options (parameter
+// candidates, solver parallelism).
+func (m *Module) InferRestrictWith(opts restrict.Options) *restrict.InferResult {
+	return restrict.Infer(m.TInfo, m.Diags, opts)
 }
 
 // LockingOptions configures the three-mode locking experiment.
@@ -96,6 +102,10 @@ type LockingOptions struct {
 	// confine-inference mode (on by default: it recovers strong
 	// updates for locks held in local pointer bindings).
 	NoLets bool
+	// SolverWorkers bounds the partitioned constraint solver's
+	// concurrency for both solves; <= 1 solves sequentially. Results
+	// are identical either way.
+	SolverWorkers int
 }
 
 // LockingResult carries the three reports of the Section 7
@@ -158,7 +168,7 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 		return nil, fmt.Errorf("%s: %w", m.Name, m.Diags.Err())
 	}
 	tr.Enter(faults.PhaseSolve)
-	baseSol := solve.SolveCtx(ctx, baseInfer.Sys)
+	baseSol := solve.SolveWorkers(ctx, baseInfer.Sys, opts.SolverWorkers)
 	if err := m.reportMalformed(baseSol.Malformed()); err != nil {
 		return nil, err
 	}
@@ -169,10 +179,11 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 	// Confine inference (mutates the AST), then the qualifier
 	// analysis over the surviving bindings.
 	cres, err := confine.InferAndApply(m.Prog, m.Diags, confine.Options{
-		General: opts.General,
-		Params:  !opts.NoParams,
-		Lets:    !opts.NoLets,
-		Ctx:     ctx,
+		General:       opts.General,
+		Params:        !opts.NoParams,
+		Lets:          !opts.NoLets,
+		SolverWorkers: opts.SolverWorkers,
+		Ctx:           ctx,
 		Trace:   tr,
 	})
 	if err != nil {
@@ -183,6 +194,11 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 	out.WithConfine = qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
 	out.SolveStats.Add(baseSol.Stats)
 	out.SolveStats.Add(cres.Solution.Stats)
+	// The baseline solution's consumers (the two qual analyses above)
+	// are done and nothing retains it, so its pooled storage can serve
+	// the next module. cres.Solution stays live — it is exported via
+	// out.Confine.
+	baseSol.Release()
 	return out, nil
 }
 

@@ -472,11 +472,24 @@ func (m M) String() string {
 // total. The rules preserve least solutions (not arbitrary
 // solutions), which is all satisfiability testing needs.
 func (s *System) Normalize() []Norm {
+	out, _ := s.NormalizeInto(nil, nil)
+	return out
+}
+
+// NormalizeInto is Normalize writing into caller-owned buffers: norms
+// receives the normal form (truncated first) and work is the
+// decomposition worklist. Both are returned with their final
+// capacity so a pooled solver can reuse them across solves instead of
+// reallocating per call.
+func (s *System) NormalizeInto(norms []Norm, work []Incl) ([]Norm, []Incl) {
 	// Nearly every inclusion yields exactly one norm; unions add a few
 	// more. Sizing to the input avoids repeated regrowth on big systems.
-	out := make([]Norm, 0, len(s.Incls)+len(s.VarIncls)+len(s.AtomIncls))
+	out := norms[:0]
+	if cap(out) == 0 {
+		out = make([]Norm, 0, len(s.Incls)+len(s.VarIncls)+len(s.AtomIncls))
+	}
 	s.Malformed = s.Malformed[:0] // Normalize may run more than once (e.g. differential tests)
-	work := append(make([]Incl, 0, len(s.Incls)+8), s.Incls...)
+	work = append(work[:0], s.Incls...)
 	for len(work) > 0 {
 		in := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -526,7 +539,7 @@ func (s *System) Normalize() []Norm {
 		ai := s.AtomIncls[i]
 		out = append(out, Norm{Left: AtomM(ai.A), V: ai.V})
 	}
-	return out
+	return out, work
 }
 
 // asM reduces an intersection operand to atom-or-variable form,

@@ -65,5 +65,13 @@ func (in *Interner) Lookup(a Atom) (ID, bool) {
 // Atom returns the atom with the given ID.
 func (in *Interner) Atom(id ID) Atom { return in.atoms[id] }
 
+// Reset empties the interner while keeping its table and slice
+// capacity, so a pooled solver can reuse one interner across solves
+// without re-growing the map. IDs restart from zero.
+func (in *Interner) Reset() {
+	clear(in.ids)
+	in.atoms = in.atoms[:0]
+}
+
 // Len returns the number of distinct atoms interned.
 func (in *Interner) Len() int { return len(in.atoms) }

@@ -20,12 +20,21 @@
 //     construction (the whole point of the constructs).
 package locs
 
+import "sync/atomic"
+
 // Store owns all abstract locations of one analysis run.
+//
+// A Store is not safe for unrestricted concurrent use, but it
+// supports the partitioned-solver discipline (see solve): after
+// Compress, Find is read-only on any class that is not unified again,
+// so goroutines owning disjoint sets of unifiable classes may call
+// Find and Unify concurrently as long as no goroutine touches a class
+// another may still unify.
 type Store struct {
 	parent     []Loc
 	rank       []int8
 	info       []Info
-	numUnifies int
+	numUnifies atomic.Int64
 	onUnify    []func(winner, loser Loc)
 }
 
@@ -59,8 +68,9 @@ func NewStore() *Store { return &Store{} }
 func (s *Store) Len() int { return len(s.parent) }
 
 // NumUnifies returns how many unifications have been performed; used
-// by complexity benchmarks.
-func (s *Store) NumUnifies() int { return s.numUnifies }
+// by complexity benchmarks. The counter is atomic so concurrent
+// solver workers unifying disjoint classes don't race on it.
+func (s *Store) NumUnifies() int { return int(s.numUnifies.Load()) }
 
 // Fresh creates a new location with no storage origin (a type
 // placeholder). It becomes meaningful once storage is attached via
@@ -98,12 +108,41 @@ func (s *Store) FreshRestricted(name string) Loc {
 }
 
 // Find returns the representative of l, with path compression.
+//
+// Find only writes when the chain from l is at least two hops long.
+// A chain that long exists only if the class was unified after its
+// last compression, so after Compress, Finds on classes that see no
+// further unification are pure reads — which is what lets solver
+// workers share a store: each worker writes only within classes it
+// exclusively owns.
 func (s *Store) Find(l Loc) Loc {
-	for s.parent[l] != l {
-		s.parent[l] = s.parent[s.parent[l]]
-		l = s.parent[l]
+	p := s.parent[l]
+	if p == l {
+		return l
 	}
-	return l
+	r := s.parent[p]
+	if r == p {
+		return p
+	}
+	// Chain of length ≥ 2: find the root, then point every node on
+	// the chain straight at it.
+	for s.parent[r] != r {
+		r = s.parent[r]
+	}
+	for l != r {
+		l, s.parent[l] = s.parent[l], r
+	}
+	return r
+}
+
+// Compress path-compresses every chain so that each location points
+// directly at its representative. Until the next Unify, all Finds are
+// then read-only; the partitioned solver runs this once before its
+// workers start sharing the store.
+func (s *Store) Compress() {
+	for l := range s.parent {
+		s.Find(Loc(l))
+	}
 }
 
 // Same reports whether a and b are in the same class.
@@ -147,11 +186,22 @@ func (s *Store) OnUnify(f func(winner, loser Loc)) {
 // Metadata is combined: origins add, multi or-s, restricted or-s, and
 // the name of the higher-origin side wins (ties prefer a's).
 func (s *Store) Unify(a, b Loc) Loc {
+	return s.UnifyObserved(a, b, nil)
+}
+
+// UnifyObserved is Unify with a per-call observer: if the classes
+// actually merge, observe (when non-nil) is invoked with the
+// surviving and absorbed representatives, after any registered
+// OnUnify callbacks. The solver uses this instead of OnUnify so that
+// each solve — and under the partitioned solver, each worker —
+// observes exactly its own unifications, with no callback left behind
+// when the solve ends.
+func (s *Store) UnifyObserved(a, b Loc, observe func(winner, loser Loc)) Loc {
 	ra, rb := s.Find(a), s.Find(b)
 	if ra == rb {
 		return ra
 	}
-	s.numUnifies++
+	s.numUnifies.Add(1)
 	winner, loser := ra, rb
 	if s.rank[winner] < s.rank[loser] {
 		winner, loser = loser, winner
@@ -173,6 +223,9 @@ func (s *Store) Unify(a, b Loc) Loc {
 	s.info[winner] = merged
 	for _, f := range s.onUnify {
 		f(winner, loser)
+	}
+	if observe != nil {
+		observe(winner, loser)
 	}
 	return winner
 }

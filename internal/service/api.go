@@ -108,6 +108,15 @@ type AnalyzeRequest struct {
 	// key: tracing a request does not change its canonical bytes.
 	// nil — the default — disables tracing at zero cost.
 	Obs *obs.Trace `json:"-"`
+
+	// SolverWorkers bounds the partitioned constraint solver's
+	// concurrency for this request; <= 1 solves sequentially. It is an
+	// execution knob, not an analysis option: results are identical at
+	// any worker count (the partitioned solver is deterministic), so
+	// it stays off the wire and out of the cache key — a response
+	// computed at one setting is a valid cache hit for any other. The
+	// daemon injects its -solver-workers setting here.
+	SolverWorkers int `json:"-"`
 }
 
 // Diagnostic is one positioned message in wire form.

@@ -93,10 +93,16 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 		}
 		switch mode {
 		case ModeCheck:
-			r := restrict.CheckWith(m.TInfo, m.Diags, restrict.CheckOptions{Liberal: req.Options.Liberal})
+			r := restrict.CheckWith(m.TInfo, m.Diags, restrict.CheckOptions{
+				Liberal:       req.Options.Liberal,
+				SolverWorkers: req.SolverWorkers,
+			})
 			check = &CheckReport{OK: r.OK(), UsedFigure5: r.UsedFigure5}
 		case ModeInfer:
-			r := m.InferRestrict(req.Options.Params)
+			r := m.InferRestrictWith(restrict.Options{
+				Params:        req.Options.Params,
+				SolverWorkers: req.SolverWorkers,
+			})
 			rep := &InferReport{
 				Candidates: len(r.Infer.Candidates),
 				Restricted: len(r.Restricted),
@@ -112,8 +118,14 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 			inferRep = rep
 			stats.Add(r.Solution.Stats)
 			program = formatProgram(m.Prog)
+			// The engine renders everything it needs from the solution
+			// above; recycle its pooled storage for the next request.
+			r.Solution.Release()
 		case ModeConfine, ModeQual:
-			lr, err := m.AnalyzeLockingCtx(ctx, core.LockingOptions{General: req.Options.General}, tr)
+			lr, err := m.AnalyzeLockingCtx(ctx, core.LockingOptions{
+				General:       req.Options.General,
+				SolverWorkers: req.SolverWorkers,
+			}, tr)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,145 @@
+package service
+
+// End-to-end determinism tests for the component-partitioned parallel
+// solver (docs/ALGORITHMS.md "Component-partitioned solving"): the
+// SolverWorkers knob must never change a single byte of the canonical
+// wire contract, whether a module is analyzed directly, through the
+// daemon's batch endpoint, or next to a panicking neighbour. The CI
+// -race step runs these with the race detector on, so the solver's
+// sharing discipline is checked on the same corpus traffic the daemon
+// serves.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"localalias/internal/drivergen"
+)
+
+// TestParallelCorpusByteIdentity: every corpus module analyzed with the
+// partitioned solver at 4 workers produces byte-identical canonical
+// JSON to the sequential solver — the property that lets the daemon
+// keep SolverWorkers out of the cache key. Full 589-module corpus;
+// -short covers a 60-module prefix.
+func TestParallelCorpusByteIdentity(t *testing.T) {
+	specs := drivergen.Corpus()
+	if testing.Short() {
+		specs = specs[:60]
+	}
+	mismatches := 0
+	for _, spec := range specs {
+		src := spec.Source()
+		seq, err := Analyze(context.Background(), &AnalyzeRequest{
+			Module: spec.Name + ".mc", Source: src, SolverWorkers: 1,
+		}).MarshalCanonical()
+		if err != nil {
+			t.Fatalf("%s sequential: %v", spec.Name, err)
+		}
+		par, err := Analyze(context.Background(), &AnalyzeRequest{
+			Module: spec.Name + ".mc", Source: src, SolverWorkers: 4,
+		}).MarshalCanonical()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", spec.Name, err)
+		}
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s: parallel solve changed the canonical response\n--- sequential\n%s\n--- parallel\n%s",
+				spec.Name, seq, par)
+			if mismatches++; mismatches >= 3 {
+				t.Fatal("stopping after 3 mismatching modules")
+			}
+		}
+	}
+}
+
+// TestServerBatchParallelSolver: a 200-module corpus batch served by a
+// daemon running the partitioned solver completes with zero failures
+// and answers byte-identically to a sequential daemon, entry by entry.
+// This is the CI -race exercise for the parallel solver under real
+// /v1/batch traffic.
+func TestServerBatchParallelSolver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-module batch in -short mode")
+	}
+	_, seqTS := newTestServer(t, ServerOptions{Workers: 2})
+	_, parTS := newTestServer(t, ServerOptions{Workers: 2, SolverWorkers: 4})
+	batch := corpusBatch(200)
+
+	run := func(url string) BatchResponse {
+		t.Helper()
+		resp := postJSON(t, url+"/v1/batch", batch)
+		body := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d: %s", resp.StatusCode, body)
+		}
+		var out BatchResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(seqTS.URL), run(parTS.URL)
+	if par.Summary.Modules != 200 || par.Summary.Failures != 0 {
+		t.Fatalf("parallel batch summary = %+v; want 200 healthy modules", par.Summary)
+	}
+	for i := range par.Results {
+		if !bytes.Equal(seq.Results[i].Response, par.Results[i].Response) {
+			t.Errorf("entry %d (%s): parallel daemon served different bytes",
+				i, batch.Requests[i].Module)
+		}
+		if seq.Results[i].CacheKey != par.Results[i].CacheKey {
+			t.Errorf("entry %d: cache key depends on SolverWorkers", i)
+		}
+	}
+}
+
+// TestServerBatchPanicIsolationParallel: with the partitioned solver
+// active daemon-wide, one module panicking mid-analysis degrades only
+// its own batch entry; its neighbours — solved in parallel components
+// on the same process — still answer healthily.
+func TestServerBatchPanicIsolationParallel(t *testing.T) {
+	testAnalyzeHook = func(ctx context.Context, module string) {
+		if module == "bomb.mc" {
+			panic("injected parallel fault")
+		}
+	}
+	defer func() { testAnalyzeHook = nil }()
+
+	_, ts := newTestServer(t, ServerOptions{Workers: 2, SolverWorkers: 4})
+	batch := corpusBatch(8)
+	batch.Requests = append(batch.Requests[:4], append([]AnalyzeRequest{{
+		Module: "bomb.mc", Source: cleanCheckSrc,
+		Options: AnalyzeOptions{Mode: ModeCheck},
+	}}, batch.Requests[4:]...)...)
+
+	resp := postJSON(t, ts.URL+"/v1/batch", batch)
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Failures != 1 {
+		t.Errorf("summary failures = %d, want exactly the injected one", out.Summary.Failures)
+	}
+	for i, entry := range out.Results {
+		var r AnalyzeResponse
+		if err := json.Unmarshal(entry.Response, &r); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		switch r.Module {
+		case "bomb.mc":
+			if r.Failure == nil || !strings.Contains(r.Failure.Message, "injected parallel fault") {
+				t.Errorf("panicking module lacks its failure record: %+v", r.Failure)
+			}
+		default:
+			if r.Failure != nil {
+				t.Errorf("healthy module %s degraded by its neighbour: %v", r.Module, r.Failure)
+			}
+		}
+	}
+}

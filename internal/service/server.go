@@ -59,6 +59,14 @@ type ServerOptions struct {
 	// LogFormat selects the access-log rendering: LogText (default)
 	// or LogJSON.
 	LogFormat string
+	// SolverWorkers bounds the partitioned constraint solver's
+	// concurrency within each analyzed module (<= 1 = sequential, the
+	// default). Orthogonal to Workers, which parallelizes across
+	// modules: a mostly-idle daemon serving huge single modules wants
+	// SolverWorkers up; a saturated corpus daemon wants it at 1.
+	// Responses are byte-identical at any setting, so it does not
+	// participate in the result cache key.
+	SolverWorkers int
 }
 
 // withDefaults resolves zero fields.
@@ -244,6 +252,7 @@ func (s *Server) runCached(ctx context.Context, req *AnalyzeRequest) (data []byt
 	if data, ok := s.cache.Get(key); ok {
 		return data, key, true, nil, nil
 	}
+	req.SolverWorkers = s.opts.SolverWorkers
 	resp = AnalyzeBounded(ctx, req, s.opts.RequestTimeout)
 	if resp.Failure != nil {
 		s.failures.Add(1)

@@ -115,6 +115,16 @@ func randomCondSystem(seed int64) *effects.System {
 	r := rand.New(rand.NewSource(seed))
 	ls := locs.NewStore()
 	sys := effects.NewSystem(ls)
+	buildRandomCondInto(sys, r)
+	return sys
+}
+
+// buildRandomCondInto adds one random constraint cluster — fresh
+// variables, fresh locations, conditionals over both — to sys. The
+// parallel differential tests call it several times into one system
+// to get a naturally multi-component graph.
+func buildRandomCondInto(sys *effects.System, r *rand.Rand) {
+	ls := sys.Locs
 	nv := 3 + r.Intn(10)
 	nl := 3 + r.Intn(6)
 	var vars []effects.Var
@@ -180,7 +190,6 @@ func randomCondSystem(seed int64) *effects.System {
 	for i := 0; i < r.Intn(3); i++ {
 		ls.Unify(rho(), rho())
 	}
-	return sys
 }
 
 // TestDenseMatchesReferenceQuick cross-checks the solvers on random

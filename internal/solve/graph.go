@@ -78,20 +78,33 @@ type inode struct {
 	rightSeeds []effects.Atom
 }
 
-// newGraph normalizes sys and builds the skeleton.
-func newGraph(sys *effects.System) *graph {
-	g := &graph{
-		sys:   sys,
-		ls:    sys.Locs,
-		norms: sys.Normalize(),
+// newGraph normalizes sys and builds the skeleton. A non-nil scratch
+// supplies recycled buffers for every build-time structure (normal
+// forms, seed rows, CSR arrays, intersection nodes); the Checker and
+// the reference solver pass nil, since they retain the graph beyond
+// the scratch's checkout.
+func newGraph(sys *effects.System, sc *scratch) *graph {
+	g := &graph{sys: sys, ls: sys.Locs}
+	if sc == nil {
+		g.norms = sys.Normalize()
+	} else {
+		g.norms, sc.normWork = sys.NormalizeInto(sc.norms, sc.normWork)
 	}
 	// Normalize may create fresh variables, so size after.
 	g.nvar = sys.NumVars()
-	g.seeds = make([][]effects.Atom, g.nvar)
+
+	var degree, next []int32
+	if sc == nil {
+		g.seeds = make([][]effects.Atom, g.nvar)
+		degree = make([]int32, g.nvar+1)
+	} else {
+		g.seeds = takeRows(&sc.seeds, g.nvar)
+		degree = takeSlice(&sc.degree, g.nvar+1)
+		g.inter = sc.takeInter()
+	}
 
 	// CSR in two passes: count each variable's out-degree, prefix-sum
 	// into edgeStart, then fill slots in norm order.
-	degree := make([]int32, g.nvar+1)
 	for _, n := range g.norms {
 		if !n.Inter {
 			if !n.Left.IsAtom {
@@ -106,16 +119,24 @@ func newGraph(sys *effects.System) *graph {
 			degree[n.Right.V]++
 		}
 	}
-	g.edgeStart = make([]int32, g.nvar+1)
+	if sc == nil {
+		g.edgeStart = make([]int32, g.nvar+1)
+	} else {
+		g.edgeStart = takeSlice(&sc.edgeStart, g.nvar+1)
+	}
 	var total int32
 	for v := 0; v < g.nvar; v++ {
 		g.edgeStart[v] = total
 		total += degree[v]
 	}
 	g.edgeStart[g.nvar] = total
-	g.edges = make([]target, total)
-
-	next := make([]int32, g.nvar)
+	if sc == nil {
+		g.edges = make([]target, total)
+		next = make([]int32, g.nvar)
+	} else {
+		g.edges = takeSlice(&sc.edges, int(total))
+		next = takeSlice(&sc.next, g.nvar)
+	}
 	copy(next, g.edgeStart[:g.nvar])
 	addEdge := func(from effects.Var, t target) {
 		g.edges[next[from]] = t
@@ -131,8 +152,7 @@ func newGraph(sys *effects.System) *graph {
 			continue
 		}
 		i := int32(len(g.inter))
-		g.inter = append(g.inter, inode{Out: n.V})
-		in := &g.inter[i]
+		in := g.addInode(n.V)
 		if n.Left.IsAtom {
 			in.leftSeeds = append(in.leftSeeds, n.Left.A)
 		} else {
@@ -144,7 +164,34 @@ func newGraph(sys *effects.System) *graph {
 			addEdge(n.Right.V, target{kind: toRight, idx: i})
 		}
 	}
+	if sc != nil {
+		// Capture append growth so the scratch keeps the high-water
+		// backing for the next solve.
+		sc.norms = g.norms
+		sc.inter = g.inter
+	}
 	return g
+}
+
+// addInode appends an intersection node, reusing a previously carved
+// slot — and its seed rows' capacity — when the backing allows.
+func (g *graph) addInode(out effects.Var) *inode {
+	if len(g.inter) < cap(g.inter) {
+		g.inter = g.inter[:len(g.inter)+1]
+		in := &g.inter[len(g.inter)-1]
+		in.Out = out
+		in.leftSeeds = in.leftSeeds[:0]
+		in.rightSeeds = in.rightSeeds[:0]
+		return in
+	}
+	g.inter = append(g.inter, inode{Out: out})
+	return &g.inter[len(g.inter)-1]
+}
+
+// takeInter hands out the recycled inode backing, truncated; addInode
+// re-extends it in place so each node's seed rows keep their caps.
+func (sc *scratch) takeInter() []inode {
+	return sc.inter[:0]
 }
 
 // outEdges returns v's static out-edges (CSR row). Edges added by

@@ -1,0 +1,205 @@
+package solve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"localalias/internal/bitset"
+	"localalias/internal/effects"
+	"localalias/internal/faults"
+	"localalias/internal/locs"
+	"localalias/internal/obs"
+)
+
+// This file is the parallel driver behind SolveWorkers: it runs one
+// unit solver per partition component on a bounded pool of worker
+// goroutines and merges the per-unit results into a Result
+// indistinguishable from the sequential solver's.
+//
+// Sharing discipline (what makes -race quiet without locks on the hot
+// path):
+//
+//   - The graph, partition, and constraint system are read-only.
+//   - sets/left/right/watch are shared arrays indexed by variable or
+//     inode; a unit only ever touches rows of its own component, and
+//     components partition those index spaces, so all writes are
+//     index-disjoint.
+//   - The location store is Compress()ed first; after that, Find is a
+//     pure read for every class that is not unified again, and
+//     solve-time unification only touches volatile classes, each of
+//     which belongs to exactly one component (see partition.go).
+//     Unify's writes are therefore index-disjoint too, and its
+//     shared counter is atomic.
+//   - Each unit has its own interner: atom IDs are component-local,
+//     so every per-variable ID sequence matches the sequential
+//     solver's and the accessors can translate per component.
+//
+// Determinism: components can't influence each other, so each unit's
+// run replays exactly the sequential solver's event subsequence for
+// that component, no matter how units are scheduled onto workers.
+// Merging is then pure bookkeeping — sums for the work counters, max
+// for the re-canonicalization rounds (the sequential loop runs one
+// global round per quiescent point, aligned across components), a
+// distinct-atom union for Stats.Atoms, and per-component firing lists
+// concatenated in component order.
+
+// solveParallel solves the partitioned system on up to `workers`
+// goroutines. Panics and deadline aborts inside a worker are captured
+// with their stack and re-thrown on the calling goroutine — the
+// deterministic choice being the lowest-numbered failing component —
+// so faults.Run sees exactly what a sequential solve would have
+// thrown.
+func solveParallel(ctx context.Context, sys *effects.System, g *graph, p *partition, workers int, sc *scratch) *Result {
+	ls := sys.Locs
+	ls.Compress()
+
+	nvar := g.nvar
+	sets := make([]bitset.Set, nvar)
+	left := make([]bitset.Set, len(g.inter))
+	right := make([]bitset.Set, len(g.inter))
+	watch := make([][]int32, nvar)
+
+	units := make([]*solver, p.ncomp)
+	for c := range units {
+		u := &solver{
+			g:        g,
+			ls:       ls,
+			in:       getInterner(),
+			ctx:      ctx,
+			myVars:   p.vars[p.varStart[c]:p.varStart[c+1]],
+			myInodes: p.inodes[p.inodeStart[c]:p.inodeStart[c+1]],
+			sets:     sets,
+			left:     left,
+			right:    right,
+			watch:    watch,
+		}
+		ci := p.conds[p.condStart[c]:p.condStart[c+1]]
+		u.conds = make([]*effects.Cond, len(ci))
+		for k, gi := range ci {
+			u.conds[k] = sys.Conds[gi]
+		}
+		u.pending = make([]bool, len(u.conds))
+		u.obsUnify = func(winner, loser locs.Loc) {
+			u.unified = true
+			u.stats.Unifications++
+			u.losers = append(u.losers, loser)
+		}
+		units[c] = u
+	}
+
+	// Heaviest components first, so a giant component starts
+	// immediately instead of serializing behind the tail.
+	weight := func(c int) int {
+		return int(p.varStart[c+1]-p.varStart[c]) +
+			int(p.inodeStart[c+1]-p.inodeStart[c]) +
+			int(p.condStart[c+1]-p.condStart[c])
+	}
+	order := make([]int, p.ncomp)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := weight(order[i]), weight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+
+	nw := workers
+	if nw > p.ncomp {
+		nw = p.ncomp
+	}
+	panics := make([]any, p.ncomp)
+	var cursor atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= p.ncomp {
+					return
+				}
+				c := order[i]
+				runUnit(units[c], &panics[c])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for c := 0; c < p.ncomp; c++ {
+		if panics[c] != nil {
+			panic(panics[c])
+		}
+	}
+
+	res := &Result{
+		sys:    sys,
+		ls:     ls,
+		sets:   sets,
+		parts:  make([]*effects.Interner, p.ncomp),
+		partOf: p.compOf,
+	}
+	var atomKeys bitset.Set
+	for c, u := range units {
+		res.parts[c] = u.in
+		res.Fired = append(res.Fired, u.fired...)
+		res.Stats.AtomsPropagated += u.stats.AtomsPropagated
+		res.Stats.IntersectionArrivals += u.stats.IntersectionArrivals
+		res.Stats.CondFirings += u.stats.CondFirings
+		res.Stats.Unifications += u.stats.Unifications
+		if u.stats.Recanonicalizations > res.Stats.Recanonicalizations {
+			res.Stats.Recanonicalizations = u.stats.Recanonicalizations
+		}
+		// Stats.Atoms counts distinct interned atoms. A location can be
+		// mentioned by several components (only volatile classes are
+		// exclusive), so the same atom may be interned in more than one
+		// unit; count the union, exactly as one shared table would
+		// have.
+		for i := 0; i < u.in.Len(); i++ {
+			a := u.in.Atom(effects.ID(i))
+			atomKeys.Add(int(a.Loc)*4 + int(a.Kind))
+		}
+	}
+	res.Stats.Atoms = atomKeys.Len()
+	res.Stats.Vars = nvar
+	res.AtomsPropagated = res.Stats.AtomsPropagated
+
+	st := &res.Stats
+	a := obs.App()
+	a.RecordSolve(st.AtomsPropagated, st.IntersectionArrivals,
+		st.CondFirings, st.Unifications, st.Recanonicalizations)
+	sizes := make([]int, p.ncomp)
+	for c := range sizes {
+		sizes[c] = weight(c)
+	}
+	a.RecordSolvePartition(nw, sizes)
+	return res
+}
+
+// testUnitHook, when non-nil, runs at the start of every unit solve on
+// its worker goroutine, inside the panic-capture guard. It is the seam
+// the fault-containment tests use to make one component panic mid-solve
+// without touching the real propagation code.
+var testUnitHook func(u *solver)
+
+// runUnit drains one component, capturing any panic (with the
+// worker's stack) into its slot instead of unwinding the worker.
+func runUnit(u *solver, slot *any) {
+	defer func() {
+		if p := recover(); p != nil {
+			*slot = faults.CaptureWorkerPanic(p)
+		}
+	}()
+	if testUnitHook != nil {
+		testUnitHook(u)
+	}
+	u.preInternSeeds()
+	u.buildWatch()
+	u.seed()
+	u.run()
+}

@@ -1,0 +1,88 @@
+package solve
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"localalias/internal/effects"
+	"localalias/internal/faults"
+	"localalias/internal/locs"
+)
+
+// clusteredSystem builds k disjoint constraint clusters in one system,
+// so the partitioner finds k components and SolveWorkers genuinely
+// dispatches units onto worker goroutines.
+func clusteredSystem(k int) *effects.System {
+	ls := locs.NewStore()
+	sys := effects.NewSystem(ls)
+	for i := 0; i < k; i++ {
+		v := sys.Fresh("v")
+		w := sys.Fresh("w")
+		l := ls.Fresh("r")
+		sys.AddAtom(effects.Atom{Kind: effects.Read, Loc: l}, v)
+		sys.AddVarIncl(v, w)
+	}
+	return sys
+}
+
+// TestWorkerPanicContained proves a panic raised on a worker goroutine
+// mid-component is captured with the worker's stack, re-thrown on the
+// solving goroutine, and contained by the same faults.Run guard every
+// front end wraps around analysis — one panicking component degrades
+// its module to a structured failure record, never the process.
+func TestWorkerPanicContained(t *testing.T) {
+	var fired atomic.Bool
+	testUnitHook = func(u *solver) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected worker fault")
+		}
+	}
+	defer func() { testUnitHook = nil }()
+
+	fail := faults.Run("m", faults.NewTrace("m"), func() error {
+		SolveWorkers(nil, clusteredSystem(6), 4)
+		return nil
+	})
+	if fail == nil {
+		t.Fatal("expected a contained panic, got success")
+	}
+	if fail.Kind != faults.KindPanic {
+		t.Fatalf("failure kind = %s, want %s (%s)", fail.Kind, faults.KindPanic, fail.Message)
+	}
+	if !strings.Contains(fail.Message, "injected worker fault") {
+		t.Errorf("failure message %q does not carry the panic value", fail.Message)
+	}
+	// The stack must be the worker's — pointing into the unit solve,
+	// not just the coordinator's re-throw.
+	if !strings.Contains(fail.Stack, "runUnit") {
+		t.Errorf("failure stack does not show the worker frame:\n%s", fail.Stack)
+	}
+}
+
+// TestWorkerPanicOthersComplete: with one unit panicking, every other
+// component still completes before the coordinator re-throws — the
+// worker pool drains instead of deadlocking or leaking goroutines.
+func TestWorkerPanicOthersComplete(t *testing.T) {
+	var units atomic.Int32
+	var fired atomic.Bool
+	testUnitHook = func(u *solver) {
+		units.Add(1)
+		if fired.CompareAndSwap(false, true) {
+			panic("injected worker fault")
+		}
+	}
+	defer func() { testUnitHook = nil }()
+
+	const k = 6
+	fail := faults.Run("m", faults.NewTrace("m"), func() error {
+		SolveWorkers(nil, clusteredSystem(k), 3)
+		return nil
+	})
+	if fail == nil {
+		t.Fatal("expected a contained panic, got success")
+	}
+	if got := units.Load(); got != k {
+		t.Errorf("%d of %d units started; the pool must keep draining past a panicked component", got, k)
+	}
+}

@@ -1,0 +1,224 @@
+package solve_test
+
+// Differential tests for the component-partitioned solver: SolveWorkers
+// must be indistinguishable from the sequential Solve — not just
+// set-equal but exactly equal in per-variable atom lists, violation
+// diagnostics, and every Stats counter — and both must agree with the
+// map-based reference solver. Solving mutates the location store, so
+// each solver gets its own identically built system.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"localalias/internal/core"
+	"localalias/internal/effects"
+	"localalias/internal/faults"
+	"localalias/internal/infer"
+	"localalias/internal/locs"
+	"localalias/internal/progen"
+	"localalias/internal/solve"
+)
+
+// randomClusterSystem builds k independent random constraint clusters
+// in one system — disjoint variables and locations per cluster, so the
+// propagation graph has several connected components and the parallel
+// path genuinely partitions.
+func randomClusterSystem(seed int64, k int) *effects.System {
+	ls := locs.NewStore()
+	sys := effects.NewSystem(ls)
+	for i := 0; i < k; i++ {
+		r := rand.New(rand.NewSource(seed*1009 + int64(i)))
+		buildRandomCondInto(sys, r)
+	}
+	return sys
+}
+
+// requireExactMatch asserts the parallel result is exactly the
+// sequential result: identical atom lists per variable, identical
+// violations (including diagnostic strings), identical stats.
+func requireExactMatch(t *testing.T, label string,
+	seqSys *effects.System, seq *solve.Result,
+	parSys *effects.System, par *solve.Result) bool {
+	t.Helper()
+	if seqSys.NumVars() != parSys.NumVars() {
+		t.Logf("%s: nondeterministic build: %d vs %d vars", label, seqSys.NumVars(), parSys.NumVars())
+		return false
+	}
+	if seq.Stats != par.Stats {
+		t.Logf("%s: stats differ\n sequential: %v\n parallel:   %v", label, seq.Stats, par.Stats)
+		return false
+	}
+	for v := 0; v < seqSys.NumVars(); v++ {
+		sa, pa := seq.Atoms(effects.Var(v)), par.Atoms(effects.Var(v))
+		if !reflect.DeepEqual(sa, pa) {
+			t.Logf("%s: var %d atoms differ\n sequential: %v\n parallel:   %v", label, v, sa, pa)
+			return false
+		}
+	}
+	sv, pv := seq.Violations(), par.Violations()
+	if !reflect.DeepEqual(sv, pv) {
+		t.Logf("%s: violations differ\n sequential: %v\n parallel:   %v", label, sv, pv)
+		return false
+	}
+	sf, pf := firedSet(seqSys, seq.Fired), firedSet(parSys, par.Fired)
+	if len(sf) != len(pf) {
+		t.Logf("%s: fired %d vs %d conds", label, len(sf), len(pf))
+		return false
+	}
+	for i := range sf {
+		if !pf[i] {
+			t.Logf("%s: cond %d fired only sequentially", label, i)
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSequentialQuick cross-checks the partitioned
+// solver against the sequential solver and the map-based reference on
+// random multi-component systems with conditional constraints.
+func TestParallelMatchesSequentialQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		seqSys := randomClusterSystem(seed, 4)
+		parSys := randomClusterSystem(seed, 4)
+		refSys := randomClusterSystem(seed, 4)
+		seq := solve.Solve(seqSys)
+		par := solve.SolveWorkers(nil, parSys, 4)
+		ref := solve.SolveReference(refSys)
+		if !requireExactMatch(t, fmt.Sprintf("seed %d", seed), seqSys, seq, parSys, par) {
+			return false
+		}
+		// And set-level agreement with the independent reference.
+		pk, rk := classKeys(parSys.Locs), classKeys(refSys.Locs)
+		for v := 0; v < parSys.NumVars(); v++ {
+			got := normAtoms(par.Atoms(effects.Var(v)), pk)
+			want := normAtoms(ref.Atoms(effects.Var(v)), rk)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d var %d: parallel %v reference %v", seed, v, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMatchesSequentialProgen runs the full inference pipeline
+// on random well-typed programs and requires the partitioned solver to
+// reproduce the sequential solver exactly, and the reference solver up
+// to set equality.
+func TestParallelMatchesSequentialProgen(t *testing.T) {
+	n := int64(200)
+	if testing.Short() {
+		n = 40
+	}
+	build := func(seed int64) *effects.System {
+		src := progen.Generate(seed)
+		mod, err := core.LoadModule("p.mc", src)
+		if err != nil {
+			t.Fatalf("seed %d: progen program fails to load: %v", seed, err)
+		}
+		res := infer.Run(mod.TInfo, mod.Diags, infer.Options{InferRestrictLets: true})
+		return res.Sys
+	}
+	for seed := int64(0); seed < n; seed++ {
+		label := fmt.Sprintf("progen seed %d", seed)
+		seqSys, parSys, refSys := build(seed), build(seed), build(seed)
+		seq := solve.Solve(seqSys)
+		par := solve.SolveWorkers(nil, parSys, 4)
+		ref := solve.SolveReference(refSys)
+		if !requireExactMatch(t, label, seqSys, seq, parSys, par) {
+			t.Fatalf("%s: parallel result differs from sequential", label)
+		}
+		compareSolutions(t, label, parSys, par, refSys, ref)
+	}
+}
+
+// TestParallelStatsDeterministic solves the same multi-component
+// system at several worker counts and repeatedly, requiring identical
+// Stats every time — the parallel merge must not let scheduling wobble
+// into the wire-visible counters.
+func TestParallelStatsDeterministic(t *testing.T) {
+	base := solve.Solve(randomClusterSystem(7, 6)).Stats
+	if base.Vars == 0 || base.AtomsPropagated == 0 {
+		t.Fatalf("implausibly empty stats: %v", base)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			got := solve.SolveWorkers(nil, randomClusterSystem(7, 6), workers).Stats
+			if got != base {
+				t.Fatalf("workers=%d rep=%d: stats differ\n sequential: %v\n parallel:   %v",
+					workers, rep, base, got)
+			}
+		}
+	}
+}
+
+// TestParallelDeadlineAbort proves a deadline expiring inside a worker
+// surfaces as a KindTimeout failure on the coordinating goroutine, not
+// as a panic or a hang.
+func TestParallelDeadlineAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: every worker aborts on its first check
+	tr := faults.NewTrace("m")
+	fail := faults.Run("m", tr, func() error {
+		solve.SolveWorkers(ctx, randomClusterSystem(3, 6), 4)
+		return nil
+	})
+	if fail == nil {
+		t.Fatal("expected a timeout failure, got success")
+	}
+	if fail.Kind != faults.KindTimeout {
+		t.Fatalf("expected %s, got %s (%s)", faults.KindTimeout, fail.Kind, fail.Message)
+	}
+}
+
+// TestPooledSolveReuse runs many solves back to back with Release, so
+// every pooled buffer is recycled, and requires each round to
+// reproduce the first round's answers — stale state leaking through
+// the pools would show up immediately.
+func TestPooledSolveReuse(t *testing.T) {
+	snapshot := func() []string {
+		sys := randomClusterSystem(11, 4)
+		res := solve.SolveWorkers(nil, sys, 4)
+		defer res.Release()
+		var out []string
+		for v := 0; v < sys.NumVars(); v++ {
+			out = append(out, fmt.Sprint(res.Atoms(effects.Var(v))))
+		}
+		out = append(out, res.Stats.String())
+
+		// Interleave a sequential pooled solve of a different system so
+		// the scratch comes back dirty.
+		other := solve.Solve(randomClusterSystem(13, 2))
+		out = append(out, other.Stats.String())
+		other.Release()
+		return out
+	}
+	want := snapshot()
+	for i := 0; i < 10; i++ {
+		if got := snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d diverged from round 0:\n got:  %v\n want: %v", i, got, want)
+		}
+	}
+}
+
+// TestResultReleasePanics pins the use-after-Release contract.
+func TestResultReleasePanics(t *testing.T) {
+	res := solve.Solve(randomCondSystem(5))
+	res.Release()
+	res.Release() // double release is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accessor after Release did not panic")
+		}
+	}()
+	res.Atoms(0)
+}

@@ -77,7 +77,7 @@ type refQitem struct {
 // map-based worklist algorithm. It is the reference implementation
 // for differential testing; production callers use Solve.
 func SolveReference(sys *effects.System) *RefResult {
-	g := newGraph(sys)
+	g := newGraph(sys, nil)
 	s := &refSolver{g: g, ls: sys.Locs}
 	s.res = &RefResult{sys: sys, ls: sys.Locs}
 	s.sets = make([]map[effects.Atom]bool, g.nvar)
@@ -95,9 +95,9 @@ func SolveReference(sys *effects.System) *RefResult {
 	s.watch = make(map[effects.Var][]*effects.Cond)
 	for _, c := range sys.Conds {
 		s.pending[c] = true
-		for _, v := range triggerVars(c.Trigger) {
+		forTriggerVars(c.Trigger, func(v effects.Var) {
 			s.watch[v] = append(s.watch[v], c)
-		}
+		})
 	}
 
 	sys.Locs.OnUnify(func(winner, loser locs.Loc) { s.unified = true })

@@ -17,17 +17,36 @@ import (
 //
 // Solution sets are stored as bitsets over interned atom IDs; the
 // accessor methods translate back to effects.Atom values, always
-// under canonical (post-unification) locations.
+// under canonical (post-unification) locations. A sequential solve
+// uses one interner for every variable; a partitioned solve (see
+// SolveWorkers) interns per component, and partOf routes each
+// variable's reads to its component's table. Per-variable atom order
+// is identical either way — a component's intern order does not
+// depend on how the components were scheduled — so every accessor
+// returns byte-identical answers regardless of worker count.
 type Result struct {
 	sys  *effects.System
 	ls   *locs.Store
 	in   *effects.Interner
 	sets []bitset.Set
 
+	// parts/partOf replace in for partitioned solves: variable v's
+	// set holds IDs of parts[partOf[v]].
+	parts  []*effects.Interner
+	partOf []int32
+
+	// ret holds the pooled storage this Result retains (interner and
+	// solution-set arena); Release returns it.
+	ret      *retained
+	released bool
+
 	// Fired lists the conditional constraints whose triggers became
 	// true, in firing order. Inference interprets these: a fired
 	// "failure" conditional unified a candidate's ρ and ρ′, turning
-	// the candidate back into a plain let.
+	// the candidate back into a plain let. A partitioned solve
+	// concatenates per-component firing sequences in component order;
+	// conditionals that can interact always share a component, so
+	// every per-pair and per-tag order consumers rely on is preserved.
 	Fired []*effects.Cond
 
 	// AtomsPropagated counts insert operations (for benchmarks).
@@ -37,6 +56,42 @@ type Result struct {
 
 	// Stats counts the work performed while solving.
 	Stats Stats
+}
+
+// interner returns the atom table that v's solution set indexes.
+func (r *Result) interner(v effects.Var) *effects.Interner {
+	if r.partOf == nil {
+		return r.in
+	}
+	return r.parts[r.partOf[v]]
+}
+
+// check guards accessors against use-after-Release.
+func (r *Result) check() {
+	if r.released {
+		panic("solve: Result used after Release")
+	}
+}
+
+// Release returns the Result's pooled storage (interner tables and
+// the solution-set arena) for reuse by later solves. It is optional —
+// an unreleased Result is simply garbage-collected — but steady-state
+// callers like the daemon release after rendering a response so the
+// solver's big allocations are recycled instead of churned. After
+// Release every accessor panics; the Result must not be used again.
+func (r *Result) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	if r.ret != nil {
+		putRetained(r.ret)
+		r.ret = nil
+	}
+	for _, in := range r.parts {
+		putInterner(in)
+	}
+	r.in, r.sets, r.parts, r.partOf = nil, nil, nil, nil
 }
 
 // Malformed returns the undecomposable inclusion constraints the
@@ -50,10 +105,12 @@ func (r *Result) Malformed() []effects.MalformedExpr {
 
 // Atoms returns the canonical atoms of v's solution, sorted.
 func (r *Result) Atoms(v effects.Var) []effects.Atom {
+	r.check()
+	in := r.interner(v)
 	var out []effects.Atom
 	seen := make(map[effects.Atom]bool)
 	r.sets[v].ForEach(func(i int) {
-		a := r.in.Atom(effects.ID(i))
+		a := in.Atom(effects.ID(i))
 		ca := effects.Atom{Kind: a.Kind, Loc: r.ls.Find(a.Loc)}
 		if !seen[ca] {
 			seen[ca] = true
@@ -75,18 +132,22 @@ func (r *Result) Atoms(v effects.Var) []effects.Atom {
 // (Atoms dedupes; this does not) — callers doing idempotent work per
 // atom, like the qualifier analysis's havoc, don't care.
 func (r *Result) EachAtom(v effects.Var, f func(effects.Atom)) {
+	r.check()
+	in := r.interner(v)
 	r.sets[v].ForEach(func(i int) {
-		a := r.in.Atom(effects.ID(i))
+		a := in.Atom(effects.ID(i))
 		f(effects.Atom{Kind: a.Kind, Loc: r.ls.Find(a.Loc)})
 	})
 }
 
 // ContainsLoc reports whether v's solution has any atom over loc.
 func (r *Result) ContainsLoc(v effects.Var, loc locs.Loc) bool {
+	r.check()
+	in := r.interner(v)
 	rho := r.ls.Find(loc)
 	found := false
 	r.sets[v].ForEach(func(i int) {
-		if !found && r.ls.Find(r.in.Atom(effects.ID(i)).Loc) == rho {
+		if !found && r.ls.Find(in.Atom(effects.ID(i)).Loc) == rho {
 			found = true
 		}
 	})
@@ -96,10 +157,12 @@ func (r *Result) ContainsLoc(v effects.Var, loc locs.Loc) bool {
 // ContainsAtom reports whether v's solution has the atom (canonical
 // location comparison).
 func (r *Result) ContainsAtom(v effects.Var, a effects.Atom) bool {
+	r.check()
+	in := r.interner(v)
 	rho := r.ls.Find(a.Loc)
 	found := false
 	r.sets[v].ForEach(func(i int) {
-		b := r.in.Atom(effects.ID(i))
+		b := in.Atom(effects.ID(i))
 		if !found && b.Kind == a.Kind && r.ls.Find(b.Loc) == rho {
 			found = true
 		}
@@ -110,6 +173,7 @@ func (r *Result) ContainsAtom(v effects.Var, a effects.Atom) bool {
 // Violations evaluates every check of the system — disinclusions,
 // kind-absence checks and pair checks — against the least solution.
 func (r *Result) Violations() []Violation {
+	r.check()
 	var out []Violation
 	for _, ni := range r.sys.NotIns {
 		if r.ContainsLoc(ni.V, ni.Loc) {
@@ -130,13 +194,14 @@ func (r *Result) Violations() []Violation {
 		}
 	}
 	for _, pn := range r.sys.PairNotIns {
+		inA := r.interner(pn.VA)
 		hit := false
 		var witness effects.Atom
 		r.sets[pn.VA].ForEach(func(i int) {
 			if hit {
 				return
 			}
-			a := r.in.Atom(effects.ID(i))
+			a := inA.Atom(effects.ID(i))
 			if a.Kind == pn.KindA && r.hasKindLocResult(pn.VB, pn.KindB, a.Loc) {
 				hit = true
 				witness = a
@@ -157,13 +222,14 @@ func (r *Result) Violations() []Violation {
 
 // firstOfKind returns the lowest-ID atom of kind k in v's solution.
 func (r *Result) firstOfKind(v effects.Var, k effects.Kind) (effects.Atom, bool) {
+	in := r.interner(v)
 	var got effects.Atom
 	found := false
 	r.sets[v].ForEach(func(i int) {
 		if found {
 			return
 		}
-		if a := r.in.Atom(effects.ID(i)); a.Kind == k {
+		if a := in.Atom(effects.ID(i)); a.Kind == k {
 			got, found = a, true
 		}
 	})
@@ -171,10 +237,11 @@ func (r *Result) firstOfKind(v effects.Var, k effects.Kind) (effects.Atom, bool)
 }
 
 func (r *Result) hasKindLocResult(v effects.Var, k effects.Kind, loc locs.Loc) bool {
+	in := r.interner(v)
 	rho := r.ls.Find(loc)
 	found := false
 	r.sets[v].ForEach(func(i int) {
-		a := r.in.Atom(effects.ID(i))
+		a := in.Atom(effects.ID(i))
 		if !found && a.Kind == k && r.ls.Find(a.Loc) == rho {
 			found = true
 		}
@@ -191,11 +258,19 @@ func (r *Result) hasKindLocResult(v effects.Var, k effects.Kind, loc locs.Loc) b
 // the graph's CSR rows. Only two structures can grow mid-solve: the
 // interner (a unification creates the canonical successor of a stale
 // atom) and the `extra` edge overlay (an ActIncl adds an inclusion).
+//
+// One solver instance drains one unit of work: the whole graph
+// (myVars/myInodes nil — the sequential path) or a single connected
+// component of it (the partitioned path, where sets/left/right/watch
+// are shared arrays written only at indices the unit owns). A unit's
+// execution depends only on its own slice of the system, which is
+// what makes the partitioned schedule reproduce the sequential
+// solver's per-variable results exactly (see docs/ALGORITHMS.md,
+// "Component-partitioned solving").
 
 type solver struct {
 	g   *graph
 	ls  *locs.Store
-	res *Result
 	in  *effects.Interner
 
 	// ctx bounds the solve: the propagation loop checks its deadline
@@ -204,6 +279,11 @@ type solver struct {
 	// cooperatively. nil means unbounded.
 	ctx   context.Context
 	steps int
+
+	// myVars/myInodes restrict this solver to one partition component;
+	// nil means the whole graph.
+	myVars   []int32
+	myInodes []int32
 
 	// extra overlays conditional-added out-edges on the immutable CSR
 	// skeleton; nil until the first ActIncl fires.
@@ -219,12 +299,21 @@ type solver struct {
 	// pending[ci] is whether cond ci is still unfired; watch[v] lists
 	// the conds whose trigger observes v, so an atom arrival only
 	// examines the conds that could care. Rechecks walk conds in
-	// creation order for deterministic firing.
+	// creation order for deterministic firing. For a unit solver,
+	// conds is the unit's creation-order subsequence and watch rows
+	// hold unit-local indices (a trigger's variables are always in
+	// the trigger's own component, so rows are unit-owned).
 	conds   []*effects.Cond
 	pending []bool
 	watch   [][]int32
 
-	unified bool // set by the locs OnUnify callback
+	unified bool // set by the unify observer
+
+	// obsUnify is the per-solver unification observer passed to
+	// locs.Store.UnifyObserved: unlike a registered OnUnify callback
+	// it lives exactly as long as the solve and never sees another
+	// unit's unifications.
+	obsUnify func(winner, loser locs.Loc)
 
 	// idsByLoc[rho] lists the IDs interned under location rho (the
 	// location was canonical at intern time). When rho later loses a
@@ -232,11 +321,16 @@ type solver struct {
 	// processes the affected IDs instead of rescanning the table.
 	idsByLoc [][]effects.ID
 	// losers accumulates the absorbed representatives since the last
-	// re-canonicalization, recorded by the OnUnify callback.
+	// re-canonicalization, recorded by the unify observer.
 	losers []locs.Loc
 
 	scratch  []int32      // reusable bitset snapshot buffer
 	staleBuf []effects.ID // reusable stale-ID buffer
+
+	// stats and fired accumulate this unit's work; the driver merges
+	// them into the Result.
+	stats Stats
+	fired []*effects.Cond
 }
 
 type qitem struct {
@@ -250,13 +344,8 @@ type qitem struct {
 // of the O(n) possible location unifications triggers O(n) of
 // re-propagation, for the stated O(n²) bound.
 func Solve(sys *effects.System) *Result {
-	return SolveCtx(nil, sys)
+	return SolveWorkers(nil, sys, 1)
 }
-
-// deadlineStride is how many propagation steps pass between deadline
-// checks — frequent enough that a timed-out module aborts promptly,
-// rare enough to stay off the hot-path profile.
-const deadlineStride = 4096
 
 // SolveCtx is Solve bounded by a context: the worklist loop checks
 // ctx's deadline every few thousand steps and aborts via
@@ -264,32 +353,57 @@ const deadlineStride = 4096
 // faults.Run/RunBounded guard when ctx can expire; a nil ctx (or one
 // that never expires) makes it identical to Solve.
 func SolveCtx(ctx context.Context, sys *effects.System) *Result {
-	g := newGraph(sys)
+	return SolveWorkers(ctx, sys, 1)
+}
+
+// SolveWorkers is SolveCtx with a parallelism knob: workers > 1
+// partitions the propagation graph into connected components and
+// solves them concurrently on at most that many goroutines. The
+// result — solution sets, violations, firing order per interacting
+// group, and every Stats counter — is identical to the sequential
+// solver's; workers ≤ 1 (or an unpartitionable system) runs the
+// sequential path. Like SolveCtx it must run under a faults guard
+// when ctx can expire; worker panics and deadline aborts are
+// re-thrown on the calling goroutine with the worker's stack.
+func SolveWorkers(ctx context.Context, sys *effects.System, workers int) *Result {
+	sc := getScratch()
+	g := newGraph(sys, sc)
+	if workers > 1 {
+		if p := newPartition(g); p.ncomp > 1 {
+			res := solveParallel(ctx, sys, g, p, workers, sc)
+			putScratch(sc)
+			return res
+		}
+	}
+	res := solveSequential(ctx, sys, g, sc)
+	putScratch(sc)
+	return res
+}
+
+// deadlineStride is how many propagation steps pass between deadline
+// checks — frequent enough that a timed-out module aborts promptly,
+// rare enough to stay off the hot-path profile.
+const deadlineStride = 4096
+
+// solveSequential runs one solver over the whole graph. All big
+// structures come from the pooled scratch; the two the Result
+// retains (interner, solution-set arena) ride in a retained wrapper
+// until Result.Release.
+func solveSequential(ctx context.Context, sys *effects.System, g *graph, sc *scratch) *Result {
+	ret := getRetained(sys.Locs.Len())
 	s := &solver{
 		g:   g,
 		ls:  sys.Locs,
-		in:  effects.NewInternerSized(sys.Locs.Len()),
+		in:  ret.in,
 		ctx: ctx,
 	}
-	s.res = &Result{sys: sys, ls: sys.Locs, in: s.in}
-	s.idsByLoc = make([][]effects.ID, sys.Locs.Len())
+	s.attachScratch(sc, sys.Locs.Len())
 
 	// Pre-intern every seed atom so the ID space is known before the
 	// solution bitsets are carved; the seeding loop below then hits
 	// the interner map without growing it.
-	for v := range g.seeds {
-		for _, a := range g.seeds[v] {
-			s.internCanon(a)
-		}
-	}
-	for i := range g.inter {
-		for _, a := range g.inter[i].leftSeeds {
-			s.internCanon(a)
-		}
-		for _, a := range g.inter[i].rightSeeds {
-			s.internCanon(a)
-		}
-	}
+	s.preInternSeeds()
+
 	// Conditionals and unifications intern more IDs later (canonical
 	// successors of merged atoms); leave slack so those don't force
 	// every set to regrow. Very large var×ID products fall back to
@@ -299,44 +413,134 @@ func SolveCtx(ctx context.Context, sys *effects.System) *Result {
 	// better than an arena row per inode.
 	idWords := s.in.Len()/48 + 4
 	if g.nvar*idWords <= 1<<22 {
-		s.sets = bitset.Arena(g.nvar, idWords)
+		s.sets = ret.setsBuf.Carve(g.nvar, idWords)
 	} else {
 		s.sets = make([]bitset.Set, g.nvar)
 	}
-	s.left = bitset.Arena(len(g.inter), idWords)
-	s.right = make([]bitset.Set, len(g.inter))
+	s.left = sc.leftBuf.Carve(len(g.inter), idWords)
+	s.right = sc.takeRight(len(g.inter))
 
 	s.conds = sys.Conds
-	s.pending = make([]bool, len(sys.Conds))
-	s.watch = make([][]int32, g.nvar)
-	for ci, c := range sys.Conds {
-		s.pending[ci] = true
-		for _, v := range triggerVars(c.Trigger) {
-			s.watch[v] = append(s.watch[v], int32(ci))
-		}
-	}
+	s.pending = sc.takePending(len(sys.Conds))
+	s.watch = sc.takeWatch(g.nvar)
+	s.buildWatch()
 
-	sys.Locs.OnUnify(func(winner, loser locs.Loc) {
+	s.seed()
+	s.run()
+
+	res := &Result{sys: sys, ls: sys.Locs, in: s.in, sets: s.sets, ret: ret}
+	res.Fired = s.fired
+	res.Stats = s.stats
+	res.Stats.Vars = g.nvar
+	res.Stats.Atoms = s.in.Len()
+	res.AtomsPropagated = res.Stats.AtomsPropagated
+	sc.reclaim(s)
+
+	// Fold the per-solve work counters into the process-wide metrics
+	// registry: a handful of atomic adds once per solve, so the
+	// propagation loop itself carries zero instrumentation.
+	st := &res.Stats
+	obs.App().RecordSolve(st.AtomsPropagated, st.IntersectionArrivals,
+		st.CondFirings, st.Unifications, st.Recanonicalizations)
+	return res
+}
+
+// attachScratch wires the pooled per-solve buffers that every unit
+// uses (worklist, loser list, snapshot buffers, stale-ID index).
+func (s *solver) attachScratch(sc *scratch, nlocs int) {
+	s.queue = sc.queue[:0]
+	s.losers = sc.losers[:0]
+	s.scratch = sc.scratchBuf[:0]
+	s.staleBuf = sc.staleBuf[:0]
+	s.idsByLoc = sc.takeIDsByLoc(nlocs)
+	s.obsUnify = func(winner, loser locs.Loc) {
 		s.unified = true
-		s.res.Stats.Unifications++
+		s.stats.Unifications++
 		s.losers = append(s.losers, loser)
-	})
+	}
+}
 
-	// Seed the graph.
-	for v := range g.seeds {
-		for _, a := range g.seeds[v] {
+// forVars calls f for every variable of this solver's unit, in
+// ascending order — the same relative order the sequential solver
+// visits them in, which is what keeps per-variable intern order
+// schedule-independent.
+func (s *solver) forVars(f func(v int32)) {
+	if s.myVars == nil {
+		for v := int32(0); int(v) < s.g.nvar; v++ {
+			f(v)
+		}
+		return
+	}
+	for _, v := range s.myVars {
+		f(v)
+	}
+}
+
+// forInodes calls f for every intersection node of the unit,
+// ascending.
+func (s *solver) forInodes(f func(i int32)) {
+	if s.myInodes == nil {
+		for i := int32(0); int(i) < len(s.g.inter); i++ {
+			f(i)
+		}
+		return
+	}
+	for _, i := range s.myInodes {
+		f(i)
+	}
+}
+
+func (s *solver) preInternSeeds() {
+	s.forVars(func(v int32) {
+		for _, a := range s.g.seeds[v] {
+			s.internCanon(a)
+		}
+	})
+	s.forInodes(func(i int32) {
+		in := &s.g.inter[i]
+		for _, a := range in.leftSeeds {
+			s.internCanon(a)
+		}
+		for _, a := range in.rightSeeds {
+			s.internCanon(a)
+		}
+	})
+}
+
+// buildWatch marks every cond pending and indexes conds by the
+// variables their triggers observe.
+func (s *solver) buildWatch() {
+	for ci, c := range s.conds {
+		s.pending[ci] = true
+		lci := int32(ci)
+		forTriggerVars(c.Trigger, func(v effects.Var) {
+			s.watch[v] = append(s.watch[v], lci)
+		})
+	}
+}
+
+// seed feeds the unit's direct atom inclusions into the worklist.
+func (s *solver) seed() {
+	s.forVars(func(v int32) {
+		for _, a := range s.g.seeds[v] {
 			s.insert(effects.Var(v), s.internCanon(a))
 		}
-	}
-	for i := range g.inter {
-		for _, a := range g.inter[i].leftSeeds {
-			s.arriveLeft(int32(i), s.internCanon(a))
+	})
+	s.forInodes(func(i int32) {
+		in := &s.g.inter[i]
+		for _, a := range in.leftSeeds {
+			s.arriveLeft(i, s.internCanon(a))
 		}
-		for _, a := range g.inter[i].rightSeeds {
-			s.arriveRight(int32(i), s.internCanon(a))
+		for _, a := range in.rightSeeds {
+			s.arriveRight(i, s.internCanon(a))
 		}
-	}
+	})
+}
 
+// run drains the unit to its fixpoint: propagate until quiescent,
+// then re-canonicalize and re-check triggers after unifications,
+// repeating while anything moved.
+func (s *solver) run() {
 	for {
 		faults.CheckDeadline(s.ctx)
 		s.drain()
@@ -353,19 +557,6 @@ func SolveCtx(ctx context.Context, sys *effects.System) *Result {
 		}
 		break
 	}
-
-	s.res.sets = s.sets
-	s.res.Stats.Vars = g.nvar
-	s.res.Stats.Atoms = s.in.Len()
-	s.res.AtomsPropagated = s.res.Stats.AtomsPropagated
-
-	// Fold the per-solve work counters into the process-wide metrics
-	// registry: a handful of atomic adds once per solve, so the
-	// propagation loop itself carries zero instrumentation.
-	st := &s.res.Stats
-	obs.App().RecordSolve(st.AtomsPropagated, st.IntersectionArrivals,
-		st.CondFirings, st.Unifications, st.Recanonicalizations)
-	return s.res
 }
 
 func (s *solver) drain() {
@@ -415,7 +606,7 @@ func (s *solver) canonID(id effects.ID) effects.ID {
 func (s *solver) insert(v effects.Var, id effects.ID) {
 	id = s.canonID(id)
 	if s.sets[v].Add(int(id)) {
-		s.res.Stats.AtomsPropagated++
+		s.stats.AtomsPropagated++
 		s.queue = append(s.queue, qitem{v: v, id: id})
 	}
 }
@@ -450,7 +641,7 @@ func (s *solver) arriveLeft(i int32, id effects.ID) {
 	if !s.left[i].Add(int(id)) {
 		return
 	}
-	s.res.Stats.IntersectionArrivals++
+	s.stats.IntersectionArrivals++
 	if s.right[i].Has(int(s.in.Atom(id).Loc)) {
 		s.insert(s.g.inter[i].Out, id)
 	}
@@ -461,7 +652,7 @@ func (s *solver) arriveRight(i int32, id effects.ID) {
 	if !s.right[i].Add(int(rho)) {
 		return
 	}
-	s.res.Stats.IntersectionArrivals++
+	s.stats.IntersectionArrivals++
 	out := s.g.inter[i].Out
 	s.left[i].ForEach(func(b int) {
 		bid := effects.ID(b)
@@ -480,7 +671,7 @@ func (s *solver) arriveRight(i int32, id effects.ID) {
 // it through canonID. The only structures that compare by stored
 // value are the intersection nodes, whose right sets hold canonical
 // location indices and whose gates probe them with Has. So the pass
-// is incremental and inode-local: the OnUnify callback records each
+// is incremental and inode-local: the unify observer records each
 // absorbed representative, idsByLoc maps it to exactly the atom IDs
 // that went stale, and only gates holding a stale atom or location
 // are re-examined. An untouched gate's members all kept their
@@ -489,7 +680,7 @@ func (s *solver) arriveRight(i int32, id effects.ID) {
 // O(inodes · stale) bit probes — the paper's O(n) "extra work to
 // recompute reachability for the unified locations" per unification.
 func (s *solver) recanonicalize() {
-	s.res.Stats.Recanonicalizations++
+	s.stats.Recanonicalizations++
 	if len(s.losers) == 0 {
 		return
 	}
@@ -504,7 +695,9 @@ func (s *solver) recanonicalize() {
 			continue
 		}
 		stale = append(stale, s.idsByLoc[l]...)
-		s.idsByLoc[l] = nil // l is never a representative again
+		// l is never a representative again; truncate (not nil) so the
+		// row's capacity survives into the next pooled solve.
+		s.idsByLoc[l] = s.idsByLoc[l][:0]
 	}
 	for _, id := range stale {
 		c := s.ls.Find(s.in.Atom(id).Loc)
@@ -514,7 +707,7 @@ func (s *solver) recanonicalize() {
 		s.idsByLoc[c] = append(s.idsByLoc[c], id)
 	}
 
-	for i := range s.left {
+	s.forInodes(func(i int32) {
 		// Gate state compares by stored value: right sets hold
 		// canonical location indices, so absorbed ones must be
 		// remapped; left atoms stay as-is (the re-exam below and the
@@ -534,7 +727,7 @@ func (s *solver) recanonicalize() {
 			}
 		}
 		if !touched {
-			continue
+			return
 		}
 		// The merge may newly unlock buffered left atoms of this gate.
 		out := s.g.inter[i].Out
@@ -544,29 +737,27 @@ func (s *solver) recanonicalize() {
 				s.insert(out, effects.ID(id))
 			}
 		}
-	}
+	})
 	s.staleBuf = stale[:0]
 }
 
 // ---------------------------------------------------------------------
 // Conditional constraints
 
-// triggerVars lists the effect variables a trigger observes.
-func triggerVars(t effects.Trigger) []effects.Var {
+// forTriggerVars calls f for each effect variable a trigger observes.
+func forTriggerVars(t effects.Trigger, f func(v effects.Var)) {
 	switch t := t.(type) {
 	case effects.LocIn:
-		return []effects.Var{t.V}
+		f(t.V)
 	case effects.AtomIn:
-		return []effects.Var{t.V}
+		f(t.V)
 	case effects.KindIn:
-		return []effects.Var{t.V}
+		f(t.V)
 	case effects.PairIn:
-		if t.VA == t.VB {
-			return []effects.Var{t.VA}
+		f(t.VA)
+		if t.VA != t.VB {
+			f(t.VB)
 		}
-		return []effects.Var{t.VA, t.VB}
-	default:
-		return nil
 	}
 }
 
@@ -672,12 +863,12 @@ func (s *solver) hasKindLoc(v effects.Var, k effects.Kind, loc locs.Loc) bool {
 func (s *solver) fire(ci int) {
 	c := s.conds[ci]
 	s.pending[ci] = false
-	s.res.Stats.CondFirings++
-	s.res.Fired = append(s.res.Fired, c)
+	s.stats.CondFirings++
+	s.fired = append(s.fired, c)
 	for _, act := range c.Actions {
 		switch act := act.(type) {
 		case effects.ActUnify:
-			s.ls.Unify(act.A, act.B)
+			s.ls.UnifyObserved(act.A, act.B, s.obsUnify)
 		case effects.ActIncl:
 			if s.extra == nil {
 				s.extra = make([][]target, s.g.nvar)
