@@ -65,6 +65,7 @@ func main() {
 		benchJSON     = flag.String("bench-json", "", "run the solver benchmarks, write ns/op as JSON to this file (- for stdout), and exit")
 		benchObsJSON  = flag.String("bench-obs-json", "", "run the observability-overhead benchmarks (tracing disabled vs enabled), write ns/op as JSON to this file (- for stdout), and exit")
 		benchParJSON  = flag.String("bench-parallel-json", "", "run the parallel-solver benchmarks (sequential unpooled vs pooled partitioned, interleaved, at GOMAXPROCS 1/2/4), write the report as JSON to this file (- for stdout), and exit")
+		benchIncJSON  = flag.String("bench-incremental-json", "", "run the incremental re-analysis benchmarks (from-scratch vs resident cache+memo after a one-function edit, interleaved), write the report as JSON to this file (- for stdout), and exit")
 		phases        = flag.Bool("phases", false, "also print the per-phase p50/p95/max timing table with the summary")
 		quiet         = flag.Bool("q", false, "suppress progress output")
 		moduleTimeout = flag.Duration("module-timeout", 2*time.Minute, "per-module analysis deadline (0 disables it)")
@@ -141,6 +142,29 @@ func main() {
 			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchParJSON)
+		}
+		return
+	}
+
+	if *benchIncJSON != "" {
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+			fmt.Fprintln(progress, "running incremental re-analysis benchmarks (interleaved cold/incremental pairs; this takes a few minutes)...")
+		}
+		data, err := experiments.RunIncrementalBenchJSON(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *benchIncJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchIncJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchIncJSON)
 		}
 		return
 	}

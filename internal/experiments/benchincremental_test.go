@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"localalias/internal/drivergen"
+)
+
+// TestIncrementalBenchReportSchema guards the committed
+// BENCH_incremental.json against drift: it must parse into the
+// current report shape with no unknown fields, describe the current
+// corpus and benchmark pair names, and carry the regeneration
+// command. A failure means the harness changed without regenerating
+// the artifact (go run ./cmd/experiments -bench-incremental-json
+// BENCH_incremental.json).
+func TestIncrementalBenchReportSchema(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_incremental.json"))
+	if err != nil {
+		t.Fatalf("reading committed benchmark report: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep IncrementalBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_incremental.json does not match the current report shape: %v", err)
+	}
+	if rep.Modules != drivergen.NumModules {
+		t.Errorf("report covers %d modules, corpus has %d", rep.Modules, drivergen.NumModules)
+	}
+	if !bytes.Contains(data, []byte("go run ./cmd/experiments -bench-incremental-json")) {
+		t.Error("report description lost the regeneration command")
+	}
+	want := map[string]bool{
+		"BenchmarkIncremental/corpus-reanalyze-after-one-edit": false,
+		"BenchmarkIncremental/edited-module-comment-revision":  false,
+	}
+	for _, b := range rep.Benchmarks {
+		if _, ok := want[b.Name]; !ok {
+			t.Errorf("unexpected benchmark entry %q", b.Name)
+			continue
+		}
+		want[b.Name] = true
+		if len(b.BeforeNsPerOp) != incrementalBenchRounds || len(b.AfterNsPerOp) != incrementalBenchRounds {
+			t.Errorf("%s: %d/%d rounds recorded, want %d", b.Name, len(b.BeforeNsPerOp), len(b.AfterNsPerOp), incrementalBenchRounds)
+		}
+		if b.MedianSpeedup <= 0 {
+			t.Errorf("%s: non-positive median speedup %v", b.Name, b.MedianSpeedup)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("report is missing benchmark entry %q", name)
+		}
+	}
+	if rep.MemoStats.Hits == 0 {
+		t.Error("report records no memo hits — the incremental side never replayed")
+	}
+}

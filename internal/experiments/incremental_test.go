@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"localalias/internal/drivergen"
+	"localalias/internal/service"
+	"localalias/internal/solve"
+)
+
+// editVector applies the i-th module's edit: rotating through a
+// body edit (new binding + store in the first function), a
+// comment-only edit (shifts every span, changes no declaration), and
+// a statement insertion in the last function. Every vector changes
+// the source bytes, so the byte cache always misses and the
+// incremental engine itself is what must reproduce the cold bytes.
+func editVector(src string, i int) (string, string) {
+	switch i % 3 {
+	case 0:
+		return editFunction(src, i), "body"
+	case 1:
+		return editComment(src, i), "comment"
+	default:
+		at := strings.LastIndex(src, "fun ")
+		if at < 0 {
+			return src + "\n", "append"
+		}
+		brace := strings.IndexByte(src[at:], '{')
+		if brace < 0 {
+			return src + "\n", "append"
+		}
+		pos := at + brace + 1
+		return src[:pos] + fmt.Sprintf("\n    let __v%d = new %d;\n    *__v%d = *__v%d + 1;", i, i, i, i), "last-fun"
+	}
+}
+
+// TestIncrementalCorpusDifferential is the acceptance gate for the
+// incremental engine: over the full 589-module corpus, warm the
+// engine on each pristine module, apply a single-function (or
+// comment) edit, and require the incrementally re-analyzed response
+// to be byte-identical to a from-scratch analysis of the edited
+// source. -short samples the corpus.
+func TestIncrementalCorpusDifferential(t *testing.T) {
+	specs := drivergen.Corpus()
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	inc := service.NewIncremental(solve.NewMemo(incrementalMemoEntries), len(specs))
+	ctx := context.Background()
+
+	checked, fullReplays, resolved := 0, 0, 0
+	for i := 0; i < len(specs); i += stride {
+		spec := specs[i]
+		base := service.AnalyzeRequest{Module: spec.Name + ".mc", Source: spec.Source()}
+
+		// Warm: the pristine revision populates the memo and baseline.
+		if resp, _ := inc.Analyze(ctx, &base, 0); resp.Failure != nil {
+			t.Fatalf("%s: warm analysis failed: %s", spec.Name, resp.Failure.Message)
+		}
+
+		edited := base
+		var vector string
+		edited.Source, vector = editVector(base.Source, i)
+		if edited.Source == base.Source {
+			t.Fatalf("%s: edit vector %s left the source unchanged", spec.Name, vector)
+		}
+
+		got, info := inc.Analyze(ctx, &edited, 0)
+		gotBytes, err := got.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := service.Analyze(ctx, &service.AnalyzeRequest{Module: edited.Module, Source: edited.Source})
+		wantBytes, err := cold.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("%s (%s edit): incremental re-analysis diverged from cold analysis\n--- incremental\n%s\n--- cold\n%s",
+				spec.Name, vector, gotBytes, wantBytes)
+		}
+		checked++
+		if info == nil {
+			t.Fatalf("%s: no incremental info", spec.Name)
+		}
+		if vector == "comment" {
+			// A comment-only edit shifts every span but no declaration
+			// and no constraint: the delta must be empty and every
+			// component must replay from the warm pass (the fingerprint
+			// is position-free).
+			if !info.Delta.Empty() {
+				t.Errorf("%s: comment edit produced a declaration delta: %+v", spec.Name, info.Delta)
+			}
+			if info.Solved != 0 || info.Replayed == 0 {
+				t.Errorf("%s: comment edit did not fully replay: %+v", spec.Name, info)
+			}
+		}
+		if info.Replayed > 0 && info.Solved == 0 {
+			fullReplays++
+		}
+		if info.Solved > 0 {
+			resolved++
+		}
+	}
+	// Corpus driver modules collapse to one solve component (every
+	// function touches the shared global lock class), so a body edit
+	// re-solves the whole component and "partial" dispositions cannot
+	// occur here; the multi-component partial path is pinned by the
+	// service-level incremental tests. What must hold corpus-wide:
+	// comment edits replay everything (asserted per module above), and
+	// body edits leave the solver genuine work.
+	t.Logf("checked %d modules: %d full replays, %d re-solved", checked, fullReplays, resolved)
+	if fullReplays == 0 {
+		t.Error("no module achieved a full replay — the memo is not being hit across revisions")
+	}
+	if resolved == 0 {
+		t.Error("no module re-solved anything — the edit vectors are not exercising misses")
+	}
+	if st := inc.Memo().Stats(); st.Hits == 0 {
+		t.Errorf("memo recorded no hits over the corpus: %+v", st)
+	}
+}
+
+// TestIncrementalBenchSmoke pins the benchmark harness pieces without
+// paying for a full measurement run: both edit functions produce
+// analyzable source, a body edit gives the solver genuine work, and a
+// comment revision fully replays from a warmed engine (the
+// within-module win the edited-module benchmark pair measures).
+func TestIncrementalBenchSmoke(t *testing.T) {
+	reqs := corpusRequests()
+	if len(reqs) != drivergen.NumModules {
+		t.Fatalf("corpus renders %d requests, want %d", len(reqs), drivergen.NumModules)
+	}
+	req := reqs[len(reqs)/2]
+	inc := service.NewIncremental(solve.NewMemo(1024), 4)
+	ctx := context.Background()
+	if resp, _ := inc.Analyze(ctx, &req, 0); resp.Failure != nil {
+		t.Fatalf("warm: %s", resp.Failure.Message)
+	}
+
+	body := req
+	body.Source = editFunction(req.Source, 0)
+	if body.Source == req.Source {
+		t.Fatal("editFunction changed nothing")
+	}
+	resp, info := inc.Analyze(ctx, &body, 0)
+	if resp.Failure != nil {
+		t.Fatalf("body edit: %s", resp.Failure.Message)
+	}
+	if info.Solved == 0 {
+		t.Errorf("body edit re-solved nothing: %+v", info)
+	}
+	if len(info.Delta.Changed) == 0 {
+		t.Errorf("body edit produced no declaration delta: %+v", info)
+	}
+
+	comment := req
+	comment.Source = editComment(req.Source, 0)
+	if comment.Source == req.Source {
+		t.Fatal("editComment changed nothing")
+	}
+	resp, info = inc.Analyze(ctx, &comment, 0)
+	if resp.Failure != nil {
+		t.Fatalf("comment edit: %s", resp.Failure.Message)
+	}
+	if info.Replayed == 0 || info.Solved != 0 {
+		t.Errorf("comment revision did not fully replay: %+v", info)
+	}
+}

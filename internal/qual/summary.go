@@ -1,0 +1,120 @@
+package qual
+
+import (
+	"sort"
+
+	"localalias/internal/ast"
+	"localalias/internal/source"
+	"localalias/internal/types"
+)
+
+// FuncSummary is the per-function slice of a module Report: the
+// function's failing lock-op sites with spans rebased to the start of
+// the function's own span. Rebasing is what makes a summary a
+// *transfer* summary — it is invariant under edits elsewhere in the
+// file (which only shift the function wholesale), so the incremental
+// engine can keep a function's summary across revisions and recompose
+// the module report instead of re-running the qualifier analysis.
+type FuncSummary struct {
+	// Name is the function's declared name.
+	Name string
+	// Span is the function's span in the revision the summary was
+	// extracted from (diagnostic/debug value; composition uses the
+	// *target* revision's span instead).
+	Span source.Span
+	// Errors lists the function's failing sites in source order, with
+	// each Site rebased: Site.Start/End are offsets from the
+	// function's Span.Start. The Call pointer is dropped — it is an
+	// AST identity, meaningless across revisions.
+	Errors []SiteError
+	// Sites is the number of syntactic lock-op sites attributed to the
+	// function (its share of Report.NumSites).
+	Sites int
+}
+
+// Summarize splits a module report into per-function transfer
+// summaries. Errors are bucketed by enclosing function span; an error
+// outside every function (impossible for lock-op sites, which live in
+// bodies) is attributed to a summary with an empty name so nothing is
+// silently dropped. Site counts are recounted per function so the
+// summaries partition Report.NumSites exactly.
+func Summarize(prog *ast.Program, rep *Report) []FuncSummary {
+	out := make([]FuncSummary, len(prog.Funs))
+	for i, f := range prog.Funs {
+		out[i] = FuncSummary{Name: f.Name, Span: f.Span(),
+			Sites: countSitesIn(f)}
+	}
+	var orphans FuncSummary
+	for _, e := range rep.Errors {
+		placed := false
+		for i, f := range prog.Funs {
+			sp := f.Span()
+			if e.Site.Start >= sp.Start && e.Site.Start < sp.End {
+				rebased := e
+				rebased.Call = nil
+				rebased.Site.Start -= sp.Start
+				rebased.Site.End -= sp.Start
+				out[i].Errors = append(out[i].Errors, rebased)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			orphans.Errors = append(orphans.Errors, e)
+		}
+	}
+	if len(orphans.Errors) > 0 {
+		out = append(out, orphans)
+	}
+	return out
+}
+
+// Compose reassembles a module report from per-function summaries,
+// resolving each summary against the function's span in prog — which
+// may be a *different revision* than the one the summary was extracted
+// from, as long as the named function's body is unchanged (the
+// incremental engine's funcidx hashes guard exactly that). Summaries
+// naming functions absent from prog are skipped; mode is the composed
+// report's mode tag.
+func Compose(prog *ast.Program, sums []FuncSummary, mode Mode) *Report {
+	funs := make(map[string]*ast.FunDecl, len(prog.Funs))
+	for _, f := range prog.Funs {
+		funs[f.Name] = f
+	}
+	rep := &Report{Mode: mode}
+	for _, s := range sums {
+		if s.Name == "" {
+			// Orphan bucket: spans were never rebased.
+			rep.Errors = append(rep.Errors, s.Errors...)
+			continue
+		}
+		f, ok := funs[s.Name]
+		if !ok {
+			continue
+		}
+		rep.NumSites += s.Sites
+		sp := f.Span()
+		for _, e := range s.Errors {
+			e.Site.Start += sp.Start
+			e.Site.End += sp.Start
+			rep.Errors = append(rep.Errors, e)
+		}
+	}
+	sort.Slice(rep.Errors, func(i, j int) bool {
+		return rep.Errors[i].Site.Start < rep.Errors[j].Site.Start
+	})
+	return rep
+}
+
+// countSitesIn counts the syntactic lock-op call sites in one
+// function, mirroring the analyzer's whole-program countSites walk.
+func countSitesIn(f *ast.FunDecl) int {
+	n := 0
+	ast.Inspect(f, func(nd ast.Node) bool {
+		if c, ok := nd.(*ast.CallExpr); ok && types.IsLockOp(c.Fun) {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -25,18 +25,21 @@ const (
 // behaviour rides here — and NOT in the response body, which must
 // stay byte-stable for caching.
 type accessEntry struct {
-	Time    time.Time `json:"time"`
-	Method  string    `json:"method"`
-	Path    string    `json:"path"`
-	Status  int       `json:"status"`
-	DurMs   float64   `json:"dur_ms"`
-	Trace   string    `json:"trace,omitempty"`
-	Cache   string    `json:"cache,omitempty"` // hit|miss (single analyze)
-	Module  string    `json:"module,omitempty"`
-	Mode    string    `json:"mode,omitempty"`
-	Modules int       `json:"modules,omitempty"` // batch size
-	Hits    int       `json:"hits,omitempty"`    // batch cache hits
-	Misses  int       `json:"misses,omitempty"`  // batch cache misses
+	Time   time.Time `json:"time"`
+	Method string    `json:"method"`
+	Path   string    `json:"path"`
+	Status int       `json:"status"`
+	DurMs  float64   `json:"dur_ms"`
+	Trace  string    `json:"trace,omitempty"`
+	Cache  string    `json:"cache,omitempty"` // hit|miss (single analyze)
+	// Incremental is the reuse disposition of a cold single-module
+	// run: cold|partial|full (empty on hits or when disabled).
+	Incremental string `json:"incremental,omitempty"`
+	Module      string `json:"module,omitempty"`
+	Mode        string `json:"mode,omitempty"`
+	Modules     int    `json:"modules,omitempty"` // batch size
+	Hits        int    `json:"hits,omitempty"`    // batch cache hits
+	Misses      int    `json:"misses,omitempty"`  // batch cache misses
 
 	// Phases is the per-phase wall-clock breakdown of a cold run
 	// (empty on cache hits — the work happened on the cold request).
@@ -90,6 +93,9 @@ func (l *accessLogger) log(e accessEntry) {
 	}
 	if e.Cache != "" {
 		fmt.Fprintf(&b, " cache=%s", e.Cache)
+	}
+	if e.Incremental != "" {
+		fmt.Fprintf(&b, " incremental=%s", e.Incremental)
 	}
 	if e.Module != "" {
 		fmt.Fprintf(&b, " module=%s", e.Module)

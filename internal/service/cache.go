@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"fmt"
 	"sync"
 
 	"localalias/internal/obs"
@@ -16,26 +18,32 @@ import (
 // options — therefore share one key across time, and any change to
 // any input yields a fresh one.
 //
+// The options are keyed by their canonical JSON encoding (with the
+// mode defaulted), not by hand-packed flag bits: every exported
+// wire field of AnalyzeOptions — including any added later — is
+// covered automatically, so a new option can never silently alias
+// cache entries across option values. Execution knobs that do not
+// affect response bytes (SolverWorkers and the other `json:"-"`
+// request fields) stay outside the key by the same rule; the reflect
+// guard test in cache_test.go pins both halves of this contract.
+//
 // Requests carrying a Generate closure have no content to hash until
 // the guard runs; callers must not cache them (the Server never sees
 // such requests, since Generate is not serializable).
 func CacheKey(req *AnalyzeRequest) string {
-	mode := req.Options.Mode
-	if mode == "" {
-		mode = ModeQual
+	opts := req.Options
+	if opts.Mode == "" {
+		opts.Mode = ModeQual
 	}
-	var flags byte
-	if req.Options.General {
-		flags |= 1 << 0
-	}
-	if req.Options.Params {
-		flags |= 1 << 1
-	}
-	if req.Options.Liberal {
-		flags |= 1 << 2
+	enc, err := json.Marshal(opts)
+	if err != nil {
+		// AnalyzeOptions is a flat struct of marshalable fields; this
+		// can only fire if someone adds an unmarshalable field, which
+		// the guard test rejects first.
+		panic(fmt.Sprintf("service: AnalyzeOptions not canonically encodable: %v", err))
 	}
 	h := sha256.New()
-	for _, part := range []string{"lna/" + APIVersion, req.Module, mode, string([]byte{flags}), req.Source} {
+	for _, part := range []string{"lna/" + APIVersion, req.Module, string(enc), req.Source} {
 		h.Write([]byte(part))
 		h.Write([]byte{0})
 	}
@@ -83,6 +91,8 @@ func NewCache(capacity int) *Cache {
 
 // Get returns the cached bytes for key, marking the entry most
 // recently used. The second result reports whether it was present.
+// The returned slice is the caller's to keep: it is a copy, so
+// mutating it cannot corrupt the canonical bytes later hits replay.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -95,21 +105,27 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	c.hits++
 	obs.App().CacheHits.Inc()
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	val := el.Value.(*cacheEntry).val
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
 }
 
 // Put stores val under key, evicting the least recently used entry if
 // the cache is full. Re-putting an existing key refreshes its value
-// and recency.
+// and recency. The stored bytes are a copy, for the same isolation
+// reason Get copies on the way out.
 func (c *Cache) Put(key string, val []byte) {
+	stored := make([]byte, len(val))
+	copy(stored, val)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		el.Value.(*cacheEntry).val = stored
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: stored})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

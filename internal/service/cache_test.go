@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"testing"
 )
 
@@ -123,6 +124,131 @@ func TestResponseDeterminism(t *testing.T) {
 		}
 		if first[len(first)-1] != '\n' {
 			t.Errorf("%s: canonical form lacks the trailing newline", mode)
+		}
+	}
+}
+
+// TestCacheGetReturnsDefensiveCopy is the regression test for the
+// shared-slice bug: a caller mutating a hit's bytes must not corrupt
+// the cached canonical response for later hits.
+func TestCacheGetReturnsDefensiveCopy(t *testing.T) {
+	c := NewCache(4)
+	orig := []byte(`{"ok":true}`)
+	c.Put("k", orig)
+
+	first, ok := c.Get("k")
+	if !ok {
+		t.Fatal("put entry missing")
+	}
+	for i := range first {
+		first[i] = 'X' // a hostile (or merely careless) caller
+	}
+
+	second, ok := c.Get("k")
+	if !ok {
+		t.Fatal("entry vanished after a mutated hit")
+	}
+	if !bytes.Equal(second, []byte(`{"ok":true}`)) {
+		t.Fatalf("cached bytes corrupted by mutating a previous hit: %q", second)
+	}
+
+	// The value handed to Put must be isolated too.
+	orig[0] = 'Y'
+	third, _ := c.Get("k")
+	if !bytes.Equal(third, []byte(`{"ok":true}`)) {
+		t.Fatalf("cached bytes corrupted by mutating the Put argument: %q", third)
+	}
+}
+
+// TestCacheKeyCoversAllOptionFields is the reflect guard for the
+// hand-packed-flags bug: every field of AnalyzeOptions must perturb
+// the cache key, including fields added after this test was written.
+// A new field that the canonical encoding cannot cover (unexported,
+// or tagged json:"-") fails loudly instead of silently aliasing
+// cache entries across option values.
+func TestCacheKeyCoversAllOptionFields(t *testing.T) {
+	rt := reflect.TypeOf(AnalyzeOptions{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.PkgPath != "" {
+			t.Errorf("AnalyzeOptions.%s is unexported: the canonical encoding cannot cover it, so it must not exist on the options struct", f.Name)
+			continue
+		}
+		if tag := f.Tag.Get("json"); tag == "-" {
+			t.Errorf("AnalyzeOptions.%s is tagged json:\"-\": it is invisible to the cache key, so identical keys would span different option values — move it to AnalyzeRequest if it is an execution knob", f.Name)
+			continue
+		}
+		req := AnalyzeRequest{Module: "m.mc", Source: "fun f() {}\n",
+			Options: AnalyzeOptions{Mode: ModeCheck}}
+		before := CacheKey(&req)
+		fv := reflect.ValueOf(&req.Options).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		case reflect.String:
+			fv.SetString(fv.String() + "-x")
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(fv.Int() + 7)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(fv.Uint() + 7)
+		case reflect.Float32, reflect.Float64:
+			fv.SetFloat(fv.Float() + 7)
+		default:
+			t.Fatalf("AnalyzeOptions.%s has kind %s this guard cannot perturb — extend the switch", f.Name, f.Type.Kind())
+		}
+		if CacheKey(&req) == before {
+			t.Errorf("AnalyzeOptions.%s does not affect the cache key", f.Name)
+		}
+	}
+}
+
+// TestCacheKeyRequestFieldContract is the other half of the guard:
+// every field of AnalyzeRequest must either perturb the key (wire
+// fields) or be a json:"-" execution knob listed here with the reason
+// results stay byte-identical across its values. A new field in
+// neither category fails, forcing the author to decide.
+func TestCacheKeyRequestFieldContract(t *testing.T) {
+	// Execution knobs deliberately outside the cache key. Each entry
+	// asserts: response bytes are identical at every value of the
+	// field, so a response computed at one setting is a valid hit for
+	// any other.
+	exempt := map[string]string{
+		"Generate":      "source synthesis seam; requests carrying it are never cached",
+		"Obs":           "tracing does not change canonical bytes",
+		"SolverWorkers": "partitioned solver is deterministic at any worker count",
+		"Memo":          "component-summary replay is byte-identical to a fresh solve",
+		"MemoCounters":  "request-scoped accounting output, not an analysis input",
+	}
+	rt := reflect.TypeOf(AnalyzeRequest{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		tagged := f.Tag.Get("json") == "-"
+		_, listed := exempt[f.Name]
+		switch {
+		case tagged && !listed:
+			t.Errorf("AnalyzeRequest.%s is json:\"-\" but not in this test's exemption table: state why responses are byte-identical across its values, or put it on the wire and into the key", f.Name)
+		case !tagged && listed:
+			t.Errorf("AnalyzeRequest.%s is exempted here but serialized on the wire — it must perturb the cache key instead", f.Name)
+		case !tagged:
+			switch f.Name {
+			case "Module", "Source":
+				a := AnalyzeRequest{Module: "m.mc", Source: "s"}
+				b := a
+				reflect.ValueOf(&b).Elem().Field(i).SetString("other")
+				if CacheKey(&a) == CacheKey(&b) {
+					t.Errorf("AnalyzeRequest.%s does not affect the cache key", f.Name)
+				}
+			case "Options":
+				// Covered field-by-field by TestCacheKeyCoversAllOptionFields.
+			default:
+				t.Errorf("AnalyzeRequest.%s is a new wire field: teach this guard how to perturb it", f.Name)
+			}
+		}
+	}
+	// Exemptions must not outlive their fields.
+	for name := range exempt {
+		if _, ok := rt.FieldByName(name); !ok {
+			t.Errorf("exemption for AnalyzeRequest.%s refers to a field that no longer exists", name)
 		}
 	}
 }

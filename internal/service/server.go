@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"localalias/internal/obs"
+	"localalias/internal/solve"
 )
 
 // Server defaults, overridable through ServerOptions.
@@ -67,6 +68,19 @@ type ServerOptions struct {
 	// Responses are byte-identical at any setting, so it does not
 	// participate in the result cache key.
 	SolverWorkers int
+	// MemoEntries bounds the process-wide solve memo backing the
+	// incremental engine: content-addressed component summaries that
+	// let a re-submitted (or lightly edited) module replay most of its
+	// constraint solving (0 = solve.DefaultMemoEntries; negative
+	// disables incremental re-analysis entirely). Replay is
+	// byte-identical to solving fresh, so — like SolverWorkers — it
+	// stays out of the result cache key.
+	MemoEntries int
+	// SummaryEntries bounds the per-module baseline store the
+	// incremental engine diffs new revisions against
+	// (0 = DefaultSummaryEntries). Eviction only loses diff
+	// reporting, never correctness.
+	SummaryEntries int
 }
 
 // withDefaults resolves zero fields.
@@ -84,6 +98,12 @@ func (o ServerOptions) withDefaults() ServerOptions {
 		o.RequestTimeout = DefaultRequestTimeout
 	} else if o.RequestTimeout < 0 {
 		o.RequestTimeout = 0
+	}
+	if o.MemoEntries == 0 {
+		o.MemoEntries = DefaultMemoEntries()
+	}
+	if o.SummaryEntries <= 0 {
+		o.SummaryEntries = DefaultSummaryEntries
 	}
 	return o
 }
@@ -106,6 +126,10 @@ func (o ServerOptions) withDefaults() ServerOptions {
 type Server struct {
 	opts  ServerOptions
 	cache *Cache
+	// inc is the incremental re-analysis engine (nil when MemoEntries
+	// is negative): cache misses run through it so edited modules
+	// re-solve only what changed.
+	inc *Incremental
 	// slots is the worker pool: holding a token = running an analysis.
 	slots chan struct{}
 	// queue bounds admitted single-module requests (waiting+running).
@@ -137,6 +161,9 @@ func NewServer(opts ServerOptions) *Server {
 		slots: make(chan struct{}, o.Workers),
 		queue: make(chan struct{}, o.QueueDepth),
 		log:   newAccessLogger(o.AccessLog, o.LogFormat),
+	}
+	if o.MemoEntries > 0 {
+		s.inc = NewIncremental(solve.NewMemo(o.MemoEntries), o.SummaryEntries)
 	}
 	reg := obs.Default()
 	s.mRequests = reg.Counter("lna_http_requests_total",
@@ -177,6 +204,11 @@ type ServerStats struct {
 	Draining       bool       `json:"draining"`
 	Cache          CacheStats `json:"cache"`
 	RequestTimeout string     `json:"request_timeout"`
+	// Memo is the solve-component summary memo backing incremental
+	// re-analysis (nil when disabled); Summaries counts the resident
+	// per-module diff baselines.
+	Memo      *solve.MemoStats `json:"memo,omitempty"`
+	Summaries int              `json:"summaries,omitempty"`
 }
 
 // Handler returns the service's HTTP handler.
@@ -247,24 +279,28 @@ func validate(req *AnalyzeRequest) error {
 // goroutine (which must already hold a worker slot). Only healthy
 // responses are cached: a panic or timeout record may be environment-
 // dependent, so those re-run on resubmission.
-func (s *Server) runCached(ctx context.Context, req *AnalyzeRequest) (data []byte, key string, hit bool, resp *AnalyzeResponse, err error) {
+func (s *Server) runCached(ctx context.Context, req *AnalyzeRequest) (data []byte, key string, hit bool, resp *AnalyzeResponse, inc *IncrementalInfo, err error) {
 	key = CacheKey(req)
 	if data, ok := s.cache.Get(key); ok {
-		return data, key, true, nil, nil
+		return data, key, true, nil, nil, nil
 	}
 	req.SolverWorkers = s.opts.SolverWorkers
-	resp = AnalyzeBounded(ctx, req, s.opts.RequestTimeout)
+	if s.inc != nil {
+		resp, inc = s.inc.Analyze(ctx, req, s.opts.RequestTimeout)
+	} else {
+		resp = AnalyzeBounded(ctx, req, s.opts.RequestTimeout)
+	}
 	if resp.Failure != nil {
 		s.failures.Add(1)
 	}
 	data, err = resp.MarshalCanonical()
 	if err != nil {
-		return nil, key, false, resp, err
+		return nil, key, false, resp, inc, err
 	}
 	if resp.Failure == nil {
 		s.cache.Put(key, data)
 	}
-	return data, key, false, resp, nil
+	return data, key, false, resp, inc, nil
 }
 
 // acquireSlot takes a worker token, honouring request cancellation.
@@ -328,7 +364,7 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 		return // client went away while queued
 	}
 	defer s.releaseSlot()
-	data, key, hit, resp, err := s.runCached(r.Context(), &req)
+	data, key, hit, resp, inc, err := s.runCached(r.Context(), &req)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
@@ -342,6 +378,13 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Lna-Cache", "miss")
 		entry.Cache = "miss"
+	}
+	// How much of the cold run was replayed from component summaries
+	// (cache hits skipped the analysis outright, so the header only
+	// rides on misses — like X-Lna-Phases).
+	if inc != nil {
+		w.Header().Set("X-Lna-Incremental", inc.Disposition)
+		entry.Incremental = inc.Disposition
 	}
 	// Per-phase timings ride in a header (and the access log), never in
 	// the canonical body — cached responses must replay byte-identically.
@@ -366,6 +409,10 @@ type BatchEntry struct {
 	CacheKey string          `json:"cache_key"`
 	TraceID  string          `json:"trace_id"`
 	Response json.RawMessage `json:"response"`
+	// Incremental is the reuse disposition of a cold entry
+	// (cold|partial|full; empty on cache hits and when incremental
+	// re-analysis is disabled).
+	Incremental string `json:"incremental,omitempty"`
 }
 
 // BatchSummary aggregates a batch.
@@ -442,13 +489,16 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 				return
 			}
 			defer s.releaseSlot()
-			data, key, hit, resp, err := s.runCached(r.Context(), req)
+			data, key, hit, resp, inc, err := s.runCached(r.Context(), req)
 			if err != nil {
 				data, _ = json.Marshal(map[string]string{"error": err.Error()})
 			}
 			out.Results[i].Cached = hit
 			out.Results[i].CacheKey = key
 			out.Results[i].Response = data
+			if inc != nil {
+				out.Results[i].Incremental = inc.Disposition
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if hit {
@@ -505,7 +555,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(ServerStats{
+	st := ServerStats{
 		Workers:        s.opts.Workers,
 		QueueDepth:     s.opts.QueueDepth,
 		Requests:       s.requests.Load(),
@@ -515,7 +565,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Draining:       s.draining.Load(),
 		Cache:          s.cache.Stats(),
 		RequestTimeout: s.opts.RequestTimeout.String(),
-	})
+	}
+	if s.inc != nil {
+		ms := s.inc.Memo().Stats()
+		st.Memo = &ms
+		st.Summaries = s.inc.Summaries()
+	}
+	_ = enc.Encode(st)
 }
 
 // ListenAndServe binds addr (port 0 picks a free port), reports the

@@ -139,7 +139,10 @@ func TestServerBatchCacheHitRate(t *testing.T) {
 	batch := corpusBatch(20)
 
 	var first, second BatchResponse
-	for pass, out := range map[int]*BatchResponse{1: &first, 2: &second} {
+	// The passes must run in order (a map range would randomize them,
+	// making the hit-rate assertions flaky).
+	for i, out := range []*BatchResponse{&first, &second} {
+		pass := i + 1
 		resp := postJSON(t, ts.URL+"/v1/batch", batch)
 		body := readBody(t, resp)
 		if resp.StatusCode != http.StatusOK {

@@ -109,10 +109,13 @@ func eachCondVar(c *effects.Cond, f func(v effects.Var)) {
 }
 
 // newPartition computes the component decomposition of g. A result
-// with ncomp <= 1 means "don't bother" — the graph is one component,
-// empty, or contains a construct the partitioner doesn't understand
-// (an unknown trigger type); SolveWorkers then runs sequentially,
-// which is always correct.
+// with compOf == nil means the partitioner bailed — the graph is
+// empty or contains a construct it doesn't understand (a conditional
+// touching no variable); solving then falls back to the sequential
+// path, which is always correct. When compOf is set the CSR
+// membership lists are populated even for ncomp == 1, so the memoized
+// solver can fingerprint a whole-module component; SolveWorkers still
+// only goes parallel for ncomp > 1.
 func newPartition(g *graph) *partition {
 	nvar := g.nvar
 	sys := g.sys
@@ -244,9 +247,6 @@ func newPartition(g *graph) *partition {
 		compOf[v] = rootComp[r]
 	}
 	p := &partition{ncomp: int(ncomp), compOf: compOf}
-	if ncomp <= 1 {
-		return p
-	}
 
 	p.varStart, p.vars = csrGroup(int(ncomp), nvar, func(i int) int32 { return compOf[i] })
 	p.inodeStart, p.inodes = csrGroup(int(ncomp), len(g.inter), func(i int) int32 {

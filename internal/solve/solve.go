@@ -269,9 +269,9 @@ func (r *Result) hasKindLocResult(v effects.Var, k effects.Kind, loc locs.Loc) b
 // "Component-partitioned solving").
 
 type solver struct {
-	g   *graph
-	ls  *locs.Store
-	in  *effects.Interner
+	g  *graph
+	ls *locs.Store
+	in *effects.Interner
 
 	// ctx bounds the solve: the propagation loop checks its deadline
 	// periodically (every deadlineStride insertions) so a per-module
@@ -323,6 +323,11 @@ type solver struct {
 	// losers accumulates the absorbed representatives since the last
 	// re-canonicalization, recorded by the unify observer.
 	losers []locs.Loc
+	// memoWinners records the surviving representative of each
+	// unification in order, set only by the memoized driver's observer
+	// (see memo.go): the summary encodes post-unification atoms as
+	// "winner of the i-th merge", so extraction needs the sequence.
+	memoWinners []locs.Loc
 
 	scratch  []int32      // reusable bitset snapshot buffer
 	staleBuf []effects.ID // reusable stale-ID buffer
