@@ -11,6 +11,8 @@
 //	experiments -phases       # with -summary: per-phase p50/p95/max table
 //	experiments -bench-obs-json FILE
 //	                          # observability-overhead benchmarks
+//	experiments -bench-gateway-json FILE
+//	                          # gateway open-loop load benchmarks
 //
 // Fault-containment flags:
 //
@@ -66,6 +68,7 @@ func main() {
 		benchObsJSON  = flag.String("bench-obs-json", "", "run the observability-overhead benchmarks (tracing disabled vs enabled), write ns/op as JSON to this file (- for stdout), and exit")
 		benchParJSON  = flag.String("bench-parallel-json", "", "run the parallel-solver benchmarks (sequential unpooled vs pooled partitioned, interleaved, at GOMAXPROCS 1/2/4), write the report as JSON to this file (- for stdout), and exit")
 		benchIncJSON  = flag.String("bench-incremental-json", "", "run the incremental re-analysis benchmarks (from-scratch vs resident cache+memo after a one-function edit, interleaved), write the report as JSON to this file (- for stdout), and exit")
+		benchGwJSON   = flag.String("bench-gateway-json", "", "run the gateway open-loop load benchmarks (1-replica vs 2-replica stacks, interleaved), write the report as JSON to this file (- for stdout), and exit")
 		phases        = flag.Bool("phases", false, "also print the per-phase p50/p95/max timing table with the summary")
 		quiet         = flag.Bool("q", false, "suppress progress output")
 		moduleTimeout = flag.Duration("module-timeout", 2*time.Minute, "per-module analysis deadline (0 disables it)")
@@ -165,6 +168,29 @@ func main() {
 			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchIncJSON)
+		}
+		return
+	}
+
+	if *benchGwJSON != "" {
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+			fmt.Fprintln(progress, "running gateway load benchmarks (interleaved 1-replica/2-replica pairs; this takes a minute)...")
+		}
+		data, err := experiments.RunGatewayBenchJSON(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *benchGwJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchGwJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchGwJSON)
 		}
 		return
 	}

@@ -130,7 +130,22 @@ func TestCheckJSONIsCanonicalResponse(t *testing.T) {
 // clean drain.
 func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) {
 	t.Helper()
-	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	return startProc(t, bin, append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...))
+}
+
+// startGateway launches `lna gateway` over the given backends on a
+// free port, with the same banner/drain contract as startServe.
+func startGateway(t *testing.T, bin string, backends []string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{"gateway", "-addr", "127.0.0.1:0", "-backends", strings.Join(backends, ",")}, extraArgs...)
+	return startProc(t, bin, args)
+}
+
+// startProc launches one lna server process (serve or gateway), waits
+// for the listening banner, and returns the base URL plus a shutdown
+// function that SIGTERMs the process and asserts a clean drain.
+func startProc(t *testing.T, bin string, args []string) (string, func()) {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -266,5 +281,120 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if string(served) != cliOut {
 		t.Errorf("served response differs from `lna check -json`:\n--- served\n%s\n--- cli\n%s", served, cliOut)
+	}
+}
+
+// TestGatewaySmoke is the end-to-end gateway exercise the CI smoke job
+// runs: two real `lna serve` replicas behind a real `lna gateway`
+// process. The remote CLI round-trip through the gateway must be
+// byte-identical to a local run, a replayed batch must hit the cache
+// fully (affinity), and SIGTERM must drain both tiers cleanly.
+func TestGatewaySmoke(t *testing.T) {
+	bins := binaries(t)
+	baseA, shutdownA := startServe(t, bins["lna"])
+	defer shutdownA()
+	baseB, shutdownB := startServe(t, bins["lna"])
+	defer shutdownB()
+	gw, shutdownGW := startGateway(t, bins["lna"], []string{baseA, baseB})
+	defer shutdownGW()
+
+	// Remote CLI through the gateway == local CLI, byte for byte.
+	file := filepath.Join(fixtureDir, "clean_annotated.mc")
+	remoteOut, stderr, code := run(t, bins["lna"], "check", "-json", "-remote", gw, file)
+	if code != service.ExitClean {
+		t.Fatalf("lna check -remote exit %d\nstderr: %s", code, stderr)
+	}
+	localOut, _, code := run(t, bins["lna"], "check", "-json", file)
+	if code != service.ExitClean {
+		t.Fatalf("lna check -json exit %d", code)
+	}
+	if remoteOut != localOut {
+		t.Errorf("gateway-relayed response differs from local run:\n--- remote\n%s\n--- local\n%s", remoteOut, localOut)
+	}
+
+	// A batch replayed through the gateway hits the cache fully: the
+	// consistent-hash routing sent every module back to the replica
+	// that analyzed it the first time.
+	var batch service.BatchRequest
+	for _, spec := range drivergen.Corpus()[:20] {
+		batch.Requests = append(batch.Requests, service.AnalyzeRequest{
+			Module: spec.Name + ".mc",
+			Source: spec.Source(),
+		})
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(pass int) service.BatchResponse {
+		resp, err := http.Post(gw+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pass %d: status %d: %s", pass, resp.StatusCode, data)
+		}
+		var out service.BatchResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		return out
+	}
+	first := submit(1)
+	if first.Summary.Modules != 20 || first.Summary.Failures != 0 || first.Summary.Rejected != 0 {
+		t.Fatalf("first pass summary = %+v", first.Summary)
+	}
+	second := submit(2)
+	if second.Summary.CacheHits != 20 {
+		t.Errorf("replay through gateway hit %d/20 — cache affinity lost", second.Summary.CacheHits)
+	}
+
+	// The open-loop load harness against the same gateway: a short warm
+	// replay must complete without transport errors and hit fully.
+	benchOut, stderr, code := run(t, bins["lna"], "bench",
+		"-remote", gw, "-rps", "100", "-duration", "500ms", "-modules", "10", "-replay", "-json")
+	if code != service.ExitClean {
+		t.Fatalf("lna bench exit %d\nstderr: %s", code, stderr)
+	}
+	var rep struct {
+		Completed int     `json:"completed"`
+		Errors    int     `json:"errors"`
+		HitRate   float64 `json:"hit_rate"`
+	}
+	if err := json.Unmarshal([]byte(benchOut), &rep); err != nil {
+		t.Fatalf("bench output is not a report: %v\n%s", err, benchOut)
+	}
+	if rep.Completed == 0 || rep.Errors != 0 {
+		t.Errorf("bench report = %+v; want completed traffic with no transport errors", rep)
+	}
+	if rep.HitRate != 1 {
+		t.Errorf("bench warm replay hit rate %v, want 1", rep.HitRate)
+	}
+}
+
+// TestRemoteExitCodes: the -remote path maps wire errors onto the same
+// exit-code table as local runs.
+func TestRemoteExitCodes(t *testing.T) {
+	bins := binaries(t)
+	base, shutdown := startServe(t, bins["lna"])
+	defer shutdown()
+
+	violation := filepath.Join(fixtureDir, "restrict_double.mc")
+	if _, _, code := run(t, bins["lna"], "check", "-remote", base, violation); code != service.ExitFindings {
+		t.Errorf("remote violation exit %d, want %d", code, service.ExitFindings)
+	}
+	// An unreachable target is an IO error, not a finding.
+	if _, _, code := run(t, bins["lna"], "check", "-remote", "http://127.0.0.1:1", violation); code != service.ExitUsage {
+		t.Errorf("unreachable remote exit %d, want %d", code, service.ExitUsage)
+	}
+	// Gateway with no backends refuses to start with a usage error.
+	if _, _, code := run(t, bins["lna"], "gateway", "-addr", "127.0.0.1:0"); code != service.ExitUsage {
+		t.Errorf("gateway without backends exit %d, want %d", code, service.ExitUsage)
+	}
+	// Bench without a target likewise.
+	if _, _, code := run(t, bins["lna"], "bench", "-rps", "10", "-duration", "100ms"); code != service.ExitUsage {
+		t.Errorf("bench without -remote exit %d, want %d", code, service.ExitUsage)
 	}
 }

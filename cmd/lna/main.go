@@ -11,6 +11,11 @@
 //	lna run FILE [ARGS...]  interpret FILE's main(int args...) (§3.2)
 //	lna timing MODULE       E4 timing comparison for one corpus module
 //	lna serve               long-running analysis daemon (HTTP/JSON)
+//	lna gateway             distributed front over N serve replicas:
+//	                        consistent-hash routing by cache key, health
+//	                        checks, retries, hedging, admission control
+//	lna bench               open-loop load generator against a daemon
+//	                        or gateway (-remote), reporting p50/p95/p99
 //
 // Flags may appear before or after the subcommand (`lna -json qual
 // f.mc` and `lna qual -json f.mc` are equivalent):
@@ -23,6 +28,27 @@
 //	-trace-out FILE  write a Chrome trace_event JSON file of the
 //	           request's phase spans (check/infer/confine/qual);
 //	           open it at chrome://tracing or https://ui.perfetto.dev
+//	-remote URL  send the request to a running daemon or gateway
+//	           instead of analyzing in-process; with -json the server's
+//	           response bytes are relayed verbatim
+//
+// Gateway flags:
+//
+//	-addr            listen address (shared with serve)
+//	-backends        comma-separated backend base URLs (required)
+//	-health-interval period between backend health sweeps
+//	-hedge-after     hedge a request against the ring successor after
+//	                 this long (0 = off)
+//	-retries         reroute attempts after the owning backend fails
+//	-max-inflight    admission cap on concurrently forwarded requests
+//
+// Bench flags (target set with -remote):
+//
+//	-rps       open-loop target arrival rate
+//	-duration  how long to schedule arrivals
+//	-replay    warm the target first; the run then measures cache hits
+//	-modules   corpus modules in the workload (0 = all 589)
+//	-json      emit the report as JSON instead of the summary
 //
 // Serve flags:
 //
@@ -65,6 +91,7 @@ import (
 	"localalias/internal/core"
 	"localalias/internal/experiments"
 	"localalias/internal/faults"
+	"localalias/internal/gateway"
 	"localalias/internal/interp"
 	"localalias/internal/obs"
 	"localalias/internal/service"
@@ -72,7 +99,7 @@ import (
 
 // subcommands names every lna subcommand, for validation and the
 // misplaced-flag error.
-var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing", "serve"}
+var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing", "serve", "gateway", "bench"}
 
 // analysisModes are the subcommands served by the shared service
 // engine (and therefore by `lna serve`).
@@ -133,6 +160,19 @@ type options struct {
 	requestTimeout time.Duration
 	logFormat      string
 	debugAddr      string
+
+	remote string
+
+	backends       string
+	healthInterval time.Duration
+	hedgeAfter     time.Duration
+	retries        int
+	maxInflight    int
+
+	rps          float64
+	duration     time.Duration
+	replay       bool
+	benchModules int
 }
 
 func main() {
@@ -168,6 +208,16 @@ func main() {
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", service.DefaultRequestTimeout, "serve: per-module analysis deadline")
 	fs.StringVar(&opt.logFormat, "log-format", "text", "serve: access-log rendering (text|json|off)")
 	fs.StringVar(&opt.debugAddr, "debug-addr", "", "serve: optional pprof+metrics listener (empty = off)")
+	fs.StringVar(&opt.remote, "remote", "", "send the analysis to this daemon or gateway base URL instead of running in-process (check/infer/confine/qual; bench target)")
+	fs.StringVar(&opt.backends, "backends", "", "gateway: comma-separated backend base URLs (required)")
+	fs.DurationVar(&opt.healthInterval, "health-interval", gateway.DefaultHealthInterval, "gateway: period between backend health sweeps")
+	fs.DurationVar(&opt.hedgeAfter, "hedge-after", 0, "gateway: hedge a single-module request against the ring successor after this long (0 = off)")
+	fs.IntVar(&opt.retries, "retries", gateway.DefaultRetries, "gateway: reroute attempts after the owning backend fails (per request)")
+	fs.IntVar(&opt.maxInflight, "max-inflight", gateway.DefaultMaxInflight, "gateway: admission-control cap on concurrently forwarded requests")
+	fs.Float64Var(&opt.rps, "rps", 50, "bench: open-loop target arrival rate")
+	fs.DurationVar(&opt.duration, "duration", benchDuration, "bench: how long to schedule arrivals")
+	fs.BoolVar(&opt.replay, "replay", false, "bench: warm the target with one untimed pass first, so the run measures replayed (cache-hit) traffic")
+	fs.IntVar(&opt.benchModules, "modules", 120, "bench: corpus modules in the replayed workload (0 = all)")
 	if err := fs.Parse(rest); err != nil {
 		// The flag package has already printed the offending flag and
 		// the flag set's usage.
@@ -178,6 +228,10 @@ func main() {
 	switch {
 	case cmd == "serve":
 		os.Exit(runServe(opt))
+	case cmd == "gateway":
+		os.Exit(runGateway(opt))
+	case cmd == "bench":
+		os.Exit(runBench(opt))
 	case cmd == "timing":
 		if len(args) < 1 {
 			usage()
@@ -202,6 +256,9 @@ func main() {
 	}
 
 	if analysisModes[cmd] {
+		if opt.remote != "" {
+			os.Exit(runRemoteAnalysis(cmd, file, string(src), opt))
+		}
 		os.Exit(runAnalysis(cmd, file, string(src), opt))
 	}
 	os.Exit(runLocal(cmd, file, string(src), args))
@@ -425,5 +482,5 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing|serve> [flags] [FILE] [args...]`)
+	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing|serve|gateway|bench> [flags] [FILE] [args...]`)
 }

@@ -22,6 +22,9 @@ func TestSplitCommand(t *testing.T) {
 		{"value flag with equals before", []string{"-trace-out=t.json", "check", "f.mc"}, "check", []string{"-trace-out=t.json", "f.mc"}},
 		{"value flag then bool flag before", []string{"-trace-out", "t.json", "-json", "qual", "f.mc"}, "qual", []string{"-trace-out", "t.json", "-json", "f.mc"}},
 		{"typo stays the subcommand", []string{"-trace-out", "t.json", "chek", "f.mc"}, "t.json", []string{"-trace-out", "chek", "f.mc"}},
+		{"gateway with backends", []string{"gateway", "-backends", "http://a,http://b"}, "gateway", []string{"-backends", "http://a,http://b"}},
+		{"remote flag before subcommand", []string{"-remote", "http://h:1", "check", "f.mc"}, "check", []string{"-remote", "http://h:1", "f.mc"}},
+		{"bench with flags", []string{"bench", "-remote", "http://h:1", "-rps", "50"}, "bench", []string{"-remote", "http://h:1", "-rps", "50"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

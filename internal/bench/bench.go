@@ -1,0 +1,236 @@
+// Package bench is an open-loop load generator for the v1 analysis
+// API. Open loop means arrivals follow a fixed schedule (the target
+// RPS) regardless of how fast responses come back — the generator
+// never self-throttles to the service's pace, so queueing delay shows
+// up in the measured latency instead of silently stretching the run
+// (the coordinated-omission trap closed-loop harnesses fall into).
+// Arrivals that cannot start because the outstanding-request cap is
+// exhausted are counted as shed, not blocked: a shed arrival is the
+// honest record that the target rate exceeded what the stack absorbed.
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"localalias/internal/client"
+	"localalias/internal/obs"
+	"localalias/internal/service"
+)
+
+// DefaultMaxOutstanding caps concurrently in-flight requests. The cap
+// bounds generator-side resources (goroutines, sockets); it is far
+// above the daemon's own admission queue, so the service's 429s are
+// observed, not masked.
+const DefaultMaxOutstanding = 256
+
+// latencyBounds resolve sub-millisecond analysis latencies: cache
+// hits serve in tens of microseconds, cold analyses in the low
+// milliseconds, and the tail under overload reaches seconds.
+var latencyBounds = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, 1 * time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, 1 * time.Second, 2500 * time.Millisecond,
+	5 * time.Second, 10 * time.Second,
+}
+
+// Options configures one load-generation run.
+type Options struct {
+	// Client submits the requests (required). Point it at a gateway or
+	// a single daemon; the generator cannot tell the difference — that
+	// is the point of the shared v1 client.
+	Client *client.Client
+	// RPS is the target arrival rate (required, > 0).
+	RPS float64
+	// Duration is how long arrivals are scheduled (required, > 0).
+	// In-flight requests at the deadline are drained and counted.
+	Duration time.Duration
+	// Requests is the workload, replayed round-robin (required,
+	// non-empty). Submit the same slice twice (or set Warm) to measure
+	// the cache-hit path.
+	Requests []service.AnalyzeRequest
+	// MaxOutstanding caps in-flight requests (0 = DefaultMaxOutstanding).
+	MaxOutstanding int
+	// Warm, when set, submits every distinct request once (one batch,
+	// untimed) before the clock starts, so the timed run measures the
+	// warm cache-affinity path rather than first-touch analysis cost.
+	Warm bool
+	// Progress, when non-nil, receives one status line per second.
+	Progress func(string)
+}
+
+// Report is the outcome of a run, shaped for direct embedding in
+// benchmark artifacts (all fields snake_case, latencies in
+// milliseconds).
+type Report struct {
+	// TargetRPS and DurationSeconds echo the configuration.
+	TargetRPS       float64 `json:"target_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// Offered counts scheduled arrivals; Shed is the subset that found
+	// the outstanding cap exhausted and was dropped by the generator.
+	Offered int `json:"offered"`
+	Shed    int `json:"shed,omitempty"`
+	// Completed answered 200; Rejected answered a well-formed API error
+	// (429/503 under overload); Errors is transport-level failures.
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected,omitempty"`
+	Errors    int `json:"errors,omitempty"`
+
+	// AchievedRPS is completed responses per second of run time.
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	// CacheHits/CacheMisses split the completed responses by the
+	// X-Lna-Cache disposition; HitRate is hits over completed.
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+
+	// Latency quantiles over completed responses only (a rejected
+	// request answers fast; mixing it in would flatter the tail).
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP95  float64 `json:"latency_ms_p95"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+	LatencyMsMean float64 `json:"latency_ms_mean"`
+	LatencyMsMax  float64 `json:"latency_ms_max"`
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// round3 keeps artifact diffs readable without losing microsecond
+// resolution.
+func round3(f float64) float64 {
+	return float64(int64(f*1000+0.5)) / 1000
+}
+
+// Run executes one open-loop run and reports the aggregate. The
+// context cancels the run early; requests already in flight are still
+// drained and counted.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.Client == nil {
+		return nil, errors.New("bench: Options.Client is required")
+	}
+	if opts.RPS <= 0 {
+		return nil, fmt.Errorf("bench: target RPS must be positive, got %v", opts.RPS)
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("bench: duration must be positive, got %v", opts.Duration)
+	}
+	if len(opts.Requests) == 0 {
+		return nil, errors.New("bench: no requests to replay")
+	}
+	maxOut := opts.MaxOutstanding
+	if maxOut <= 0 {
+		maxOut = DefaultMaxOutstanding
+	}
+
+	if opts.Warm {
+		reqs := opts.Requests
+		if _, _, err := opts.Client.Batch(ctx, reqs); err != nil {
+			return nil, fmt.Errorf("bench: warm pass failed: %w", err)
+		}
+	}
+
+	var (
+		hist                        = obs.NewHistogram(latencyBounds)
+		completed, rejected, failed atomic.Int64
+		hits, misses                atomic.Int64
+		sem                         = make(chan struct{}, maxOut)
+		wg                          sync.WaitGroup
+	)
+	fire := func(req *service.AnalyzeRequest) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		t0 := time.Now()
+		_, meta, err := opts.Client.AnalyzeRaw(ctx, req)
+		elapsed := time.Since(t0)
+		switch {
+		case err == nil:
+			hist.Observe(elapsed)
+			completed.Add(1)
+			if meta.Cache == "hit" {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+			}
+		default:
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) {
+				rejected.Add(1)
+			} else {
+				failed.Add(1)
+			}
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / opts.RPS)
+	start := time.Now()
+	offered, shed := 0, 0
+	lastProgress := start
+	// Fixed-schedule arrivals: the i-th request is due at start +
+	// i*interval, independent of how long earlier requests take.
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.Sub(start) >= opts.Duration {
+			break
+		}
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				goto done
+			}
+		} else if ctx.Err() != nil {
+			goto done
+		}
+		offered++
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go fire(&opts.Requests[i%len(opts.Requests)])
+		default:
+			shed++
+		}
+		if opts.Progress != nil && time.Since(lastProgress) >= time.Second {
+			lastProgress = time.Now()
+			opts.Progress(fmt.Sprintf("t=%v offered=%d completed=%d shed=%d",
+				time.Since(start).Round(time.Second), offered, completed.Load(), shed))
+		}
+	}
+done:
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	rep := &Report{
+		TargetRPS:       opts.RPS,
+		DurationSeconds: round3(elapsed.Seconds()),
+		Offered:         offered,
+		Shed:            shed,
+		Completed:       int(completed.Load()),
+		Rejected:        int(rejected.Load()),
+		Errors:          int(failed.Load()),
+		CacheHits:       int(hits.Load()),
+		CacheMisses:     int(misses.Load()),
+		LatencyMsP50:    round3(ms(snap.Quantile(0.50))),
+		LatencyMsP95:    round3(ms(snap.Quantile(0.95))),
+		LatencyMsP99:    round3(ms(snap.Quantile(0.99))),
+		LatencyMsMean:   round3(ms(snap.Mean())),
+		LatencyMsMax:    round3(ms(snap.Max)),
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = round3(float64(rep.Completed) / elapsed.Seconds())
+	}
+	if rep.Completed > 0 {
+		rep.HitRate = round3(float64(rep.CacheHits) / float64(rep.Completed))
+	}
+	return rep, nil
+}

@@ -1,0 +1,138 @@
+package bench_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"localalias/internal/bench"
+	"localalias/internal/client"
+	"localalias/internal/drivergen"
+	"localalias/internal/service"
+)
+
+func benchTarget(t *testing.T) *client.Client {
+	t.Helper()
+	srv := service.NewServer(service.ServerOptions{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL, client.Options{Retry: client.RetryPolicy{MaxAttempts: 1}})
+}
+
+func workload(n int) []service.AnalyzeRequest {
+	reqs := make([]service.AnalyzeRequest, 0, n)
+	for _, spec := range drivergen.Corpus()[:n] {
+		reqs = append(reqs, service.AnalyzeRequest{
+			Module: spec.Name + ".mc", Source: spec.Source(),
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	}
+	return reqs
+}
+
+// TestRunOpenLoop: a short run at modest RPS completes cleanly and the
+// report's accounting adds up.
+func TestRunOpenLoop(t *testing.T) {
+	c := benchTarget(t)
+	rep, err := bench.Run(context.Background(), bench.Options{
+		Client:   c,
+		RPS:      100,
+		Duration: 500 * time.Millisecond,
+		Requests: workload(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Completed == 0 {
+		t.Fatalf("report = %+v; want traffic", rep)
+	}
+	if rep.Completed+rep.Rejected+rep.Errors+rep.Shed != rep.Offered {
+		t.Errorf("accounting: %d completed + %d rejected + %d errors + %d shed != %d offered",
+			rep.Completed, rep.Rejected, rep.Errors, rep.Shed, rep.Offered)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d transport errors against a live daemon", rep.Errors)
+	}
+	if rep.CacheHits+rep.CacheMisses != rep.Completed {
+		t.Errorf("cache split %d+%d != completed %d", rep.CacheHits, rep.CacheMisses, rep.Completed)
+	}
+	if rep.LatencyMsP50 <= 0 || rep.LatencyMsP99 < rep.LatencyMsP50 {
+		t.Errorf("implausible quantiles: p50=%v p99=%v", rep.LatencyMsP50, rep.LatencyMsP99)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Error("achieved RPS is zero with completed requests")
+	}
+}
+
+// TestRunWarm: a warm pass fills the cache, so the timed run hits on
+// every replayed request.
+func TestRunWarm(t *testing.T) {
+	c := benchTarget(t)
+	rep, err := bench.Run(context.Background(), bench.Options{
+		Client:   c,
+		RPS:      80,
+		Duration: 400 * time.Millisecond,
+		Requests: workload(6),
+		Warm:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no completed requests")
+	}
+	if rep.CacheMisses != 0 {
+		t.Errorf("%d misses after a warm pass over the whole workload", rep.CacheMisses)
+	}
+	if rep.HitRate != 1 {
+		t.Errorf("hit rate %v after warm pass, want 1", rep.HitRate)
+	}
+}
+
+// TestRunSheds: with one outstanding slot against a stalled backend,
+// the open loop sheds arrivals instead of blocking the schedule.
+func TestRunSheds(t *testing.T) {
+	// A backend that stalls 50ms per request: one outstanding slot at
+	// 200 rps must shed most of the schedule.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+		w.Header().Set("X-Lna-Cache", "miss")
+		w.Write([]byte("{}\n"))
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, client.Options{Retry: client.RetryPolicy{MaxAttempts: 1}})
+	reqs := workload(4)
+	rep, err := bench.Run(context.Background(), bench.Options{
+		Client:         c,
+		RPS:            200,
+		Duration:       250 * time.Millisecond,
+		Requests:       reqs,
+		MaxOutstanding: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Errorf("report = %+v; want shed arrivals with a 1-slot cap at 200 rps", rep)
+	}
+	if rep.Completed+rep.Rejected+rep.Errors+rep.Shed != rep.Offered {
+		t.Error("accounting does not add up under shedding")
+	}
+}
+
+// TestRunValidation: the option contract is enforced.
+func TestRunValidation(t *testing.T) {
+	c := benchTarget(t)
+	cases := []bench.Options{
+		{RPS: 10, Duration: time.Second, Requests: workload(1)},   // no client
+		{Client: c, Duration: time.Second, Requests: workload(1)}, // no rps
+		{Client: c, RPS: 10, Requests: workload(1)},               // no duration
+		{Client: c, RPS: 10, Duration: time.Second},               // no workload
+	}
+	for i, opts := range cases {
+		if _, err := bench.Run(context.Background(), opts); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}

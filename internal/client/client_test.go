@@ -1,0 +1,314 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"localalias/internal/service"
+)
+
+const checkSrc = `fun f(x: ref int): int {
+    restrict y = x {
+        return *y;
+    }
+    return 0;
+}
+`
+
+func newDaemon(t *testing.T) (*service.Server, *Client) {
+	t.Helper()
+	srv := service.NewServer(service.ServerOptions{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, New(ts.URL, Options{})
+}
+
+// TestAnalyzeRoundTrip: the typed client returns the daemon's exact
+// canonical bytes and decodes the X-Lna-* metadata, and a resubmission
+// is a cache hit with identical bytes.
+func TestAnalyzeRoundTrip(t *testing.T) {
+	_, c := newDaemon(t)
+	req := &service.AnalyzeRequest{Module: "rt.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}
+
+	body, meta, err := c.AnalyzeRaw(context.Background(), req)
+	if err != nil {
+		t.Fatalf("AnalyzeRaw: %v", err)
+	}
+	want, err := service.Analyze(context.Background(), req).MarshalCanonical()
+	if err != nil {
+		t.Fatalf("local marshal: %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("remote bytes differ from local canonical form:\n--- remote\n%s\n--- local\n%s", body, want)
+	}
+	if meta.Cache != "miss" {
+		t.Errorf("first submission Cache = %q; want miss", meta.Cache)
+	}
+	if meta.CacheKey != service.CacheKey(req) {
+		t.Errorf("CacheKey header %q != computed key %q", meta.CacheKey, service.CacheKey(req))
+	}
+	if len(meta.TraceID) != 16 {
+		t.Errorf("TraceID %q; want 16 hex chars", meta.TraceID)
+	}
+	if meta.Attempts != 1 {
+		t.Errorf("Attempts = %d; want 1", meta.Attempts)
+	}
+
+	resp, meta2, err := c.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Analyze (second): %v", err)
+	}
+	if meta2.Cache != "hit" {
+		t.Errorf("resubmission Cache = %q; want hit", meta2.Cache)
+	}
+	if !resp.OK || resp.Module != "rt.mc" || resp.Mode != service.ModeCheck {
+		t.Errorf("typed response = ok=%v module=%q mode=%q", resp.OK, resp.Module, resp.Mode)
+	}
+}
+
+// TestRetryTransient: a backend answering 503 twice then 200 succeeds
+// within the default policy, with the attempt count surfaced in Meta.
+func TestRetryTransient(t *testing.T) {
+	var calls atomic.Int32
+	daemon := service.NewServer(service.ServerOptions{Workers: 1})
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			service.WriteWireError(w, service.CodeDraining, "not yet")
+			return
+		}
+		daemon.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := New(ts.URL, Options{Retry: RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}})
+	req := &service.AnalyzeRequest{Module: "flaky.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}
+	resp, meta, err := c.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Analyze through flaky front: %v", err)
+	}
+	if !resp.OK {
+		t.Error("response not OK after retries")
+	}
+	if meta.Attempts != 3 {
+		t.Errorf("Attempts = %d; want 3", meta.Attempts)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend saw %d calls; want 3", got)
+	}
+}
+
+// TestRetryExhausted: when every attempt fails retryably, the final
+// *APIError carries the canonical code and the exit mapping.
+func TestRetryExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		service.WriteWireError(w, service.CodeQueueFull, "busy")
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{Retry: RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}})
+	_, _, err := c.Analyze(context.Background(), &service.AnalyzeRequest{
+		Module: "m.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T); want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.Err.Code != service.CodeQueueFull {
+		t.Errorf("got status %d code %q; want 429 %q", apiErr.Status, apiErr.Err.Code, service.CodeQueueFull)
+	}
+	if apiErr.ExitCode() != service.ExitDegraded {
+		t.Errorf("ExitCode = %d; want %d", apiErr.ExitCode(), service.ExitDegraded)
+	}
+	var werr *service.WireError
+	if !errors.As(err, &werr) || werr.Code != service.CodeQueueFull {
+		t.Errorf("errors.As(*service.WireError) failed on %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend saw %d calls; want 3 (policy exhausted)", got)
+	}
+}
+
+// TestNoRetryOnBadRequest: a 4xx other than 429 is terminal — the
+// request itself is wrong, so exactly one attempt is spent.
+func TestNoRetryOnBadRequest(t *testing.T) {
+	var calls atomic.Int32
+	daemon := service.NewServer(service.ServerOptions{Workers: 1})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		daemon.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{Retry: RetryPolicy{MaxAttempts: 5, Backoff: time.Millisecond}})
+	for _, tc := range []struct {
+		name string
+		req  service.AnalyzeRequest
+		code string
+	}{
+		{"bad mode", service.AnalyzeRequest{Module: "m.mc", Source: "x",
+			Options: service.AnalyzeOptions{Mode: "optimize"}}, service.CodeBadRequest},
+		{"unsupported version", service.AnalyzeRequest{APIVersion: "v2", Module: "m.mc",
+			Source: "x", Options: service.AnalyzeOptions{Mode: service.ModeCheck}}, service.CodeUnsupportedVersion},
+	} {
+		calls.Store(0)
+		_, _, err := c.Analyze(context.Background(), &tc.req)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: error %v; want *APIError", tc.name, err)
+		}
+		if apiErr.Status != http.StatusBadRequest || apiErr.Err.Code != tc.code {
+			t.Errorf("%s: status %d code %q; want 400 %q", tc.name, apiErr.Status, apiErr.Err.Code, tc.code)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("%s: backend saw %d calls; want 1 (no retry on 400)", tc.name, got)
+		}
+	}
+}
+
+// TestBatch: the typed batch call preserves index alignment, carries
+// per-entry admission errors, and surfaces the summary.
+func TestBatch(t *testing.T) {
+	_, c := newDaemon(t)
+	reqs := []service.AnalyzeRequest{
+		{Module: "a.mc", Source: checkSrc, Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+		{Module: "bad.mc", Source: "", Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+		{Module: "b.mc", Source: checkSrc, Options: service.AnalyzeOptions{Mode: service.ModeInfer}},
+	}
+	out, meta, err := c.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results; want 3", len(out.Results))
+	}
+	if out.Results[1].Error == nil || out.Results[1].Error.Code != service.CodeBadRequest {
+		t.Errorf("entry 1 error = %+v; want code %q", out.Results[1].Error, service.CodeBadRequest)
+	}
+	if len(out.Results[1].Response) != 0 {
+		t.Errorf("rejected entry carries a response: %s", out.Results[1].Response)
+	}
+	for _, i := range []int{0, 2} {
+		if out.Results[i].Error != nil {
+			t.Errorf("entry %d unexpectedly errored: %v", i, out.Results[i].Error)
+		}
+		if len(out.Results[i].Response) == 0 {
+			t.Errorf("entry %d has no response", i)
+		}
+	}
+	if out.Summary.Rejected != 1 || out.Summary.Modules != 3 {
+		t.Errorf("summary = %+v; want modules=3 rejected=1", out.Summary)
+	}
+	if meta.Cache != "miss,error,miss" {
+		t.Errorf("batch X-Lna-Cache = %q; want miss,error,miss", meta.Cache)
+	}
+}
+
+// TestHealthAndStats: the GET helpers decode the typed payloads.
+func TestHealthAndStats(t *testing.T) {
+	srv, c := newDaemon(t)
+	hs, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if hs.Status != "ok" || hs.APIVersion != service.APIVersion || hs.Workers != 2 {
+		t.Errorf("health = %+v", hs)
+	}
+	srv.SetDraining(true)
+	hs, err = c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health (draining): %v", err)
+	}
+	if hs.Status != "draining" {
+		t.Errorf("draining daemon reports status %q", hs.Status)
+	}
+	srv.SetDraining(false)
+
+	if _, _, err := c.AnalyzeRaw(context.Background(), &service.AnalyzeRequest{
+		Module: "s.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}); err != nil {
+		t.Fatalf("AnalyzeRaw: %v", err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Requests != 1 || st.Cache.Misses == 0 {
+		t.Errorf("stats = requests=%d cache=%+v; want 1 request, >0 misses", st.Requests, st.Cache)
+	}
+}
+
+// TestRoundTripIsSingleAttempt: the gateway's forwarding primitive must
+// never retry on its own — ring-aware rerouting owns that decision.
+func TestRoundTripIsSingleAttempt(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		service.WriteWireError(w, service.CodeQueueFull, "busy")
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{Retry: RetryPolicy{MaxAttempts: 5, Backoff: time.Millisecond}})
+	res, err := c.RoundTrip(context.Background(), "/v1/analyze", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if res.Status != http.StatusTooManyRequests {
+		t.Errorf("status = %d; want 429", res.Status)
+	}
+	if werr := res.WireError(); werr == nil || werr.Code != service.CodeQueueFull {
+		t.Errorf("WireError = %+v; want code %q", res.WireError(), service.CodeQueueFull)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("backend saw %d calls; want exactly 1", got)
+	}
+}
+
+// TestBackoffSchedule: exponential doubling, the Retry-After override,
+// and the cap.
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}.withDefaults()
+	for i, want := range []time.Duration{50, 100, 200, 400} {
+		if got := p.backoffFor(i, ""); got != want*time.Millisecond {
+			t.Errorf("backoffFor(%d) = %v; want %v", i, got, want*time.Millisecond)
+		}
+	}
+	if got := p.backoffFor(0, "1"); got != time.Second {
+		t.Errorf("Retry-After: 1 not honoured: got %v", got)
+	}
+	if got := p.backoffFor(0, "30"); got != 2*time.Second {
+		t.Errorf("Retry-After above the cap not clamped: got %v", got)
+	}
+	if got := p.backoffFor(10, ""); got != 2*time.Second {
+		t.Errorf("exponential growth not capped: got %v", got)
+	}
+}
+
+// TestTransportErrorSurfaced: a dead endpoint yields a transport error
+// (not an APIError) after the policy is spent.
+func TestTransportErrorSurfaced(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // dead on arrival
+
+	c := New(ts.URL, Options{Retry: RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}})
+	_, _, err := c.Analyze(context.Background(), &service.AnalyzeRequest{
+		Module: "m.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	if err == nil {
+		t.Fatal("Analyze against a closed listener succeeded")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Errorf("transport failure surfaced as *APIError: %v", err)
+	}
+}

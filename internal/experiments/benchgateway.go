@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"localalias/internal/bench"
+	"localalias/internal/client"
+	"localalias/internal/gateway"
+	"localalias/internal/service"
+)
+
+// This file measures the gateway tier (PR 8) under open-loop load:
+// the same workload driven through a gateway fronting one replica and
+// through a gateway fronting two replicas, interleaved like the other
+// benchmark artifacts so shared-VM drift hits both sides equally. The
+// cold entry measures first-touch analysis through the tier; the warm
+// entry replays the workload after a warm pass, which is where
+// consistent-hash cache affinity either holds (every replay hits the
+// replica that cached it) or falls apart.
+
+// Gateway benchmark workload shape: enough modules that both replicas
+// own a real share of the keyspace, short enough that three
+// interleaved pairs finish in minutes on the 1-CPU measurement host.
+const (
+	gatewayBenchModules  = 120
+	gatewayBenchRPS      = 150
+	gatewayBenchDuration = 2 * time.Second
+	gatewayBenchRounds   = 3
+)
+
+// GatewayBenchRun is one timed open-loop run through one stack.
+type GatewayBenchRun struct {
+	Replicas int          `json:"replicas"`
+	Report   bench.Report `json:"report"`
+}
+
+// GatewayBenchPair is one interleaved round: the same workload through
+// a 1-replica stack and a 2-replica stack, back to back.
+type GatewayBenchPair struct {
+	Single GatewayBenchRun `json:"single_replica"`
+	Double GatewayBenchRun `json:"two_replicas"`
+}
+
+// GatewayBenchEntry is one workload configuration with its interleaved
+// rounds.
+type GatewayBenchEntry struct {
+	Name string `json:"name"`
+	// Warm records whether the timed run was preceded by an untimed
+	// warm pass over the whole workload.
+	Warm  bool               `json:"warm"`
+	Pairs []GatewayBenchPair `json:"pairs"`
+}
+
+// GatewayBenchReport is the top-level shape of BENCH_gateway.json.
+type GatewayBenchReport struct {
+	Description string `json:"description"`
+	Platform    string `json:"platform"`
+	NumCPU      int    `json:"num_cpu"`
+	// HardwareNote qualifies the throughput rows on hosts where the
+	// replicas and the generator share one hardware thread.
+	HardwareNote string `json:"hardware_note,omitempty"`
+
+	Modules         int     `json:"modules"`
+	TargetRPS       float64 `json:"target_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Benchmarks []*GatewayBenchEntry `json:"benchmarks"`
+}
+
+// gatewayStack boots n in-process replicas and a gateway over them,
+// returning a client aimed at the gateway and a teardown.
+func gatewayStack(n int) (*client.Client, func(), error) {
+	var closers []func()
+	shutdown := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(service.NewServer(service.ServerOptions{}).Handler())
+		closers = append(closers, ts.Close)
+		urls[i] = ts.URL
+	}
+	g, err := gateway.New(gateway.Options{Backends: urls})
+	if err != nil {
+		shutdown()
+		return nil, nil, err
+	}
+	gts := httptest.NewServer(g.Start().Handler())
+	closers = append(closers, gts.Close, g.Shutdown)
+	return client.New(gts.URL, client.Options{}), shutdown, nil
+}
+
+// runGatewayBench runs one timed open-loop pass through a fresh
+// n-replica stack. Every run rebuilds its stack, so cold entries are
+// cold by construction and warm entries pay their own warm pass.
+func runGatewayBench(ctx context.Context, n int, reqs []service.AnalyzeRequest, warm bool) (GatewayBenchRun, error) {
+	c, shutdown, err := gatewayStack(n)
+	if err != nil {
+		return GatewayBenchRun{}, err
+	}
+	defer shutdown()
+	rep, err := bench.Run(ctx, bench.Options{
+		Client:   c,
+		RPS:      gatewayBenchRPS,
+		Duration: gatewayBenchDuration,
+		Requests: reqs,
+		Warm:     warm,
+	})
+	if err != nil {
+		return GatewayBenchRun{}, err
+	}
+	if rep.Errors > 0 {
+		return GatewayBenchRun{}, fmt.Errorf("%d transport errors against an in-process %d-replica stack", rep.Errors, n)
+	}
+	return GatewayBenchRun{Replicas: n, Report: *rep}, nil
+}
+
+// RunGatewayBenchJSON runs the gateway load benchmarks and renders
+// BENCH_gateway.json. progress (when non-nil) receives one line per
+// run.
+func RunGatewayBenchJSON(progress io.Writer) ([]byte, error) {
+	ctx := context.Background()
+	reqs := corpusRequests()[:gatewayBenchModules]
+	for i := range reqs {
+		reqs[i].Options.Mode = service.ModeCheck
+	}
+	rep := &GatewayBenchReport{
+		Description: "Open-loop load through the gateway tier: the same workload (first " +
+			"120 corpus modules, check mode) replayed at a fixed arrival rate through a gateway " +
+			"fronting 1 replica and a gateway fronting 2 replicas, interleaved (single, double, ...) " +
+			"so shared-VM load drift hits both sides equally; compare within each pair. The cold " +
+			"entry measures first-touch analysis through the tier; the warm entry replays after an " +
+			"untimed warm pass, so its hit_rate fields are the cache-affinity check — consistent " +
+			"hashing must keep the 2-replica hit rate at the single-replica level (1.0) because " +
+			"every key replays to the replica that cached it. Latencies are open-loop (arrivals " +
+			"never wait for responses), so queueing under overload shows up in the tail instead of " +
+			"stretching the schedule. Regenerate with: " +
+			"go run ./cmd/experiments -bench-gateway-json BENCH_gateway.json",
+		Platform: fmt.Sprintf("%s/%s, shared VM (expect run-to-run noise; compare interleaved pairs)",
+			runtime.GOOS, runtime.GOARCH),
+		NumCPU:          runtime.NumCPU(),
+		Modules:         gatewayBenchModules,
+		TargetRPS:       gatewayBenchRPS,
+		DurationSeconds: gatewayBenchDuration.Seconds(),
+	}
+	if rep.NumCPU < 2 {
+		rep.HardwareNote = fmt.Sprintf(
+			"measured on a %d-hardware-thread host: generator, gateway, and all replicas share "+
+				"the CPU, so the two_replicas rows bound tier overhead rather than demonstrating "+
+				"horizontal scaling; the hit_rate (affinity) columns are hardware-independent.",
+			rep.NumCPU)
+	}
+
+	entries := []struct {
+		name string
+		warm bool
+	}{
+		{"BenchmarkGateway/cold-corpus-open-loop", false},
+		{"BenchmarkGateway/warm-affinity-replay", true},
+	}
+	for _, spec := range entries {
+		e := &GatewayBenchEntry{Name: spec.name, Warm: spec.warm}
+		for round := 0; round < gatewayBenchRounds; round++ {
+			single, err := runGatewayBench(ctx, 1, reqs, spec.warm)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d (1 replica): %w", spec.name, round, err)
+			}
+			double, err := runGatewayBench(ctx, 2, reqs, spec.warm)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d (2 replicas): %w", spec.name, round, err)
+			}
+			e.Pairs = append(e.Pairs, GatewayBenchPair{Single: single, Double: double})
+			if progress != nil {
+				fmt.Fprintf(progress,
+					"  %s: pair %d/%d  1-replica p50 %.3fms hit %.0f%%  2-replica p50 %.3fms hit %.0f%%\n",
+					spec.name, round+1, gatewayBenchRounds,
+					single.Report.LatencyMsP50, 100*single.Report.HitRate,
+					double.Report.LatencyMsP50, 100*double.Report.HitRate)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

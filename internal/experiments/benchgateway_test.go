@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGatewayBenchReportSchema guards the committed BENCH_gateway.json
+// against drift: it must parse into the current report shape with no
+// unknown fields, cover the interleaved single/double-replica pairs,
+// carry the regeneration command, and show the affinity property the
+// gateway exists for — a warm 2-replica replay hitting at least as
+// often as the single-replica baseline. A failure means the harness
+// changed without regenerating the artifact (go run ./cmd/experiments
+// -bench-gateway-json BENCH_gateway.json).
+func TestGatewayBenchReportSchema(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_gateway.json"))
+	if err != nil {
+		t.Fatalf("reading committed benchmark report: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep GatewayBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_gateway.json does not match the current report shape: %v", err)
+	}
+	if rep.Modules != gatewayBenchModules || rep.TargetRPS != gatewayBenchRPS {
+		t.Errorf("report covers %d modules at %v rps; harness uses %d at %v",
+			rep.Modules, rep.TargetRPS, gatewayBenchModules, float64(gatewayBenchRPS))
+	}
+	if !bytes.Contains(data, []byte("go run ./cmd/experiments -bench-gateway-json")) {
+		t.Error("report description lost the regeneration command")
+	}
+	want := map[string]bool{
+		"BenchmarkGateway/cold-corpus-open-loop": false,
+		"BenchmarkGateway/warm-affinity-replay":  false,
+	}
+	for _, e := range rep.Benchmarks {
+		if _, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected benchmark entry %q", e.Name)
+			continue
+		}
+		want[e.Name] = true
+		if len(e.Pairs) != gatewayBenchRounds {
+			t.Errorf("%s: %d pairs recorded, want %d", e.Name, len(e.Pairs), gatewayBenchRounds)
+		}
+		for i, p := range e.Pairs {
+			if p.Single.Replicas != 1 || p.Double.Replicas != 2 {
+				t.Errorf("%s pair %d: replica counts %d/%d, want 1/2",
+					e.Name, i, p.Single.Replicas, p.Double.Replicas)
+			}
+			for _, run := range []GatewayBenchRun{p.Single, p.Double} {
+				if run.Report.Completed == 0 || run.Report.Errors != 0 {
+					t.Errorf("%s pair %d (%d replicas): completed=%d errors=%d",
+						e.Name, i, run.Replicas, run.Report.Completed, run.Report.Errors)
+				}
+				if run.Report.LatencyMsP50 <= 0 || run.Report.LatencyMsP99 < run.Report.LatencyMsP50 {
+					t.Errorf("%s pair %d (%d replicas): implausible quantiles p50=%v p99=%v",
+						e.Name, i, run.Replicas, run.Report.LatencyMsP50, run.Report.LatencyMsP99)
+				}
+			}
+			if e.Warm {
+				// The acceptance criterion: affinity keeps the scaled-out
+				// hit rate at the single-daemon level.
+				if p.Double.Report.HitRate < p.Single.Report.HitRate {
+					t.Errorf("%s pair %d: 2-replica hit rate %v below single-replica %v — affinity lost",
+						e.Name, i, p.Double.Report.HitRate, p.Single.Report.HitRate)
+				}
+				if p.Double.Report.HitRate != 1 {
+					t.Errorf("%s pair %d: warm replay hit rate %v, want 1", e.Name, i, p.Double.Report.HitRate)
+				}
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("report is missing benchmark entry %q", name)
+		}
+	}
+}

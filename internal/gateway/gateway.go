@@ -1,0 +1,649 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"localalias/internal/client"
+	"localalias/internal/obs"
+	"localalias/internal/service"
+)
+
+// Gateway defaults.
+const (
+	// DefaultMaxInflight bounds concurrently-admitted single-module
+	// requests across the gateway; one more and it answers 429, the
+	// same backpressure contract the daemon applies at its own queue.
+	DefaultMaxInflight = 256
+	// DefaultRetries is how many additional backends a failed request
+	// walks along the ring (so a request touches at most 1+DefaultRetries
+	// replicas).
+	DefaultRetries = 2
+	// DefaultRequestTimeout bounds one forwarded request, mirroring the
+	// daemon's analysis deadline.
+	DefaultRequestTimeout = 2 * time.Minute
+	// maxRequestBytes mirrors the daemon's request-body bound.
+	maxRequestBytes = 64 << 20
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Backends are the replica base URLs (e.g. "http://127.0.0.1:8347").
+	// At least one is required.
+	Backends []string
+	// Vnodes is the virtual-node count per backend on the hash ring
+	// (0 = DefaultVnodes).
+	Vnodes int
+	// HealthInterval is the period between health sweeps
+	// (0 = DefaultHealthInterval).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (0 = DefaultHealthTimeout).
+	HealthTimeout time.Duration
+	// MaxInflight bounds admitted single-module requests
+	// (0 = DefaultMaxInflight).
+	MaxInflight int
+	// Retries is how many ring successors a failed request tries after
+	// its owner (0 = DefaultRetries; negative = no retries).
+	Retries int
+	// HedgeAfter, when positive, starts a duplicate request on the
+	// key's next ring successor if the owner has not answered within
+	// this long; the first response wins and the loser is cancelled.
+	// Hedging is safe because analysis is pure — a duplicate can only
+	// warm a second cache, never double an effect. 0 disables it.
+	HedgeAfter time.Duration
+	// RequestTimeout bounds one forwarded request
+	// (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// AccessLog, when non-nil, receives one line per proxied request.
+	AccessLog io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Vnodes <= 0 {
+		o.Vnodes = DefaultVnodes
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = DefaultHealthInterval
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = DefaultHealthTimeout
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.Retries == 0 {
+		o.Retries = DefaultRetries
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	return o
+}
+
+// Gateway fronts a pool of analysis daemons: it routes each request by
+// its content-hash cache key so identical submissions always reach the
+// same replica (cache and memo affinity), reroutes along the ring when
+// a backend fails, optionally hedges slow requests, and applies
+// bounded admission before any backend is touched.
+type Gateway struct {
+	opts     Options
+	pool     *pool
+	inflight chan struct{}
+
+	requests atomic.Uint64 // single-module requests admitted
+	batches  atomic.Uint64 // batch requests admitted
+	rejected atomic.Uint64 // 429s + 503s answered locally
+	retries  atomic.Uint64 // rerouted attempts after a backend failure
+	hedges   atomic.Uint64 // hedge requests launched
+	hedgeWon atomic.Uint64 // hedges that beat the owner
+
+	mRequests *obs.Counter
+	mRejected *obs.Counter
+	mRetries  *obs.Counter
+	mHedges   *obs.Counter
+}
+
+// New builds a Gateway over opts.Backends. The health sweep starts
+// with ListenAndServe (or Start, for embedded use).
+func New(opts Options) (*Gateway, error) {
+	o := opts.withDefaults()
+	if len(o.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	g := &Gateway{
+		opts:     o,
+		pool:     newPool(o.Backends, o.Vnodes, o.HealthInterval, o.HealthTimeout),
+		inflight: make(chan struct{}, o.MaxInflight),
+	}
+	reg := obs.Default()
+	g.mRequests = reg.Counter("lna_gateway_requests_total",
+		"Requests admitted by the gateway (single-module and batch).")
+	g.mRejected = reg.Counter("lna_gateway_rejected_total",
+		"Requests the gateway refused locally (admission, no healthy backend).")
+	g.mRetries = reg.Counter("lna_gateway_retries_total",
+		"Forward attempts rerouted to a ring successor after a backend failure.")
+	g.mHedges = reg.Counter("lna_gateway_hedges_total",
+		"Hedge requests launched against a key's ring successor.")
+	reg.GaugeFunc("lna_gateway_backends_healthy",
+		"Backends currently in the gateway's hash ring.",
+		func() int64 { return int64(g.pool.healthyCount()) })
+	return g, nil
+}
+
+// Start launches the periodic health sweep (ListenAndServe does this
+// for the CLI; embedded users — tests, the bench harness — call it
+// directly) and returns g.
+func (g *Gateway) Start() *Gateway {
+	g.pool.start()
+	return g
+}
+
+// Shutdown stops the health sweep.
+func (g *Gateway) Shutdown() { g.pool.shutdown() }
+
+// Retries reports the per-request reroute budget after option
+// normalization (for startup banners and introspection).
+func (g *Gateway) Retries() int { return g.opts.Retries }
+
+// MaxInflight reports the admission-control cap after normalization.
+func (g *Gateway) MaxInflight() int { return g.opts.MaxInflight }
+
+// CheckNow forces one health sweep (see pool.CheckNow).
+func (g *Gateway) CheckNow(ctx context.Context) { g.pool.CheckNow(ctx) }
+
+// BackendStates snapshots the pool for health payloads and tests.
+func (g *Gateway) BackendStates() []BackendState { return g.pool.states() }
+
+// Handler returns the gateway's HTTP handler. The endpoint set and
+// wire shapes mirror the daemon's exactly — a client cannot tell a
+// gateway from a single replica except by the X-Lna-Backend header.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", g.handleAnalyze)
+	mux.HandleFunc("/v1/batch", g.handleBatch)
+	mux.HandleFunc("/v1/health", g.handleHealth)
+	mux.HandleFunc("/v1/stats", g.handleStats)
+	mux.HandleFunc("/v1/metrics", g.handleMetrics)
+	return mux
+}
+
+// readBody reads and bounds one POST body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		service.WriteWireError(w, service.CodeMethodNotAllowed, "use POST")
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		service.WriteWireError(w, service.CodeBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// fwdResult is one attempt's outcome.
+type fwdResult struct {
+	res *client.Result
+	b   *Backend
+	err error
+}
+
+// done reports whether the attempt produced an answer worth relaying:
+// any HTTP response except the retryable statuses (429/502/503/504).
+func (f fwdResult) done() bool {
+	if f.err != nil {
+		return false
+	}
+	switch f.res.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return false
+	}
+	return true
+}
+
+// tryOne forwards body to one backend with the per-request timeout.
+// Transport failures mark the backend unhealthy immediately — unless
+// the context was cancelled (a hedge loser or a departed client says
+// nothing about backend health).
+func (g *Gateway) tryOne(ctx context.Context, path string, body []byte, b *Backend) fwdResult {
+	reqCtx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
+	defer cancel()
+	res, err := b.client.RoundTrip(reqCtx, path, body)
+	if err != nil {
+		if ctx.Err() == nil {
+			g.pool.markUnhealthy(b, fmt.Sprintf("forward failed: %v", err))
+		}
+		return fwdResult{b: b, err: err}
+	}
+	if res.Status == http.StatusServiceUnavailable {
+		// Draining (or otherwise refusing) replica: take it out of the
+		// ring now; the sweep re-admits it when it reports ok again.
+		g.pool.markUnhealthy(b, fmt.Sprintf("backend answered %d", res.Status))
+	}
+	b.forwarded.Add(1)
+	return fwdResult{res: res, b: b}
+}
+
+// forward routes body along candidates until an attempt produces a
+// relayable answer, hedging the first attempt when configured. It
+// returns the winning result, the serving backend, and the number of
+// attempts spent; err is non-nil only when every candidate failed at
+// the transport level.
+func (g *Gateway) forward(ctx context.Context, path string, body []byte, candidates []*Backend) (*client.Result, *Backend, int, error) {
+	attempts := 0
+	next := 0 // index of the next unused candidate
+
+	// Hedged first attempt: race the owner against the first successor
+	// if the owner is slow. Any losing attempt is cancelled.
+	if g.opts.HedgeAfter > 0 && len(candidates) >= 2 {
+		raceCtx, cancelRace := context.WithCancel(ctx)
+		defer cancelRace()
+		ch := make(chan fwdResult, 2)
+		launch := func(b *Backend) {
+			attempts++
+			go func() { ch <- g.tryOne(raceCtx, path, body, b) }()
+		}
+		launch(candidates[0])
+		next = 1
+		inFlight := 1
+		timer := time.NewTimer(g.opts.HedgeAfter)
+		defer timer.Stop()
+		hedged := false
+		var last fwdResult
+		for inFlight > 0 {
+			select {
+			case <-timer.C:
+				if !hedged {
+					hedged = true
+					g.hedges.Add(1)
+					g.mHedges.Inc()
+					launch(candidates[1])
+					next = 2
+					inFlight++
+				}
+			case f := <-ch:
+				inFlight--
+				if f.done() {
+					cancelRace() // the loser's attempt is moot
+					if hedged && f.b == candidates[1] {
+						g.hedgeWon.Add(1)
+					}
+					return f.res, f.b, attempts, nil
+				}
+				last = f
+			case <-ctx.Done():
+				return nil, nil, attempts, ctx.Err()
+			}
+		}
+		// Both racers failed; fall through to the sequential walk over
+		// the remaining candidates.
+		_ = last
+	}
+
+	var lastErr error = errors.New("no candidate backends")
+	var lastRes *client.Result
+	var lastB *Backend
+	for ; next < len(candidates); next++ {
+		if attempts > 0 {
+			g.retries.Add(1)
+			g.mRetries.Inc()
+		}
+		attempts++
+		f := g.tryOne(ctx, path, body, candidates[next])
+		if f.done() {
+			return f.res, f.b, attempts, nil
+		}
+		if f.err != nil {
+			lastErr = f.err
+		} else {
+			lastRes, lastB = f.res, f.b
+		}
+		if ctx.Err() != nil {
+			return nil, nil, attempts, ctx.Err()
+		}
+	}
+	if lastRes != nil {
+		// Every candidate answered, all retryably (e.g. queue-full
+		// across the pool): relay the last answer rather than invent
+		// one — its Retry-After is the backend's own advice.
+		return lastRes, lastB, attempts, nil
+	}
+	return nil, nil, attempts, lastErr
+}
+
+// relay writes a backend's response through to the client verbatim,
+// stamping the gateway's routing headers on top.
+func relay(w http.ResponseWriter, res *client.Result, b *Backend, attempts int) {
+	for _, h := range []string{
+		"Content-Type", "Retry-After",
+		"X-Lna-Cache", "X-Lna-Cache-Key", "X-Lna-Trace",
+		"X-Lna-Incremental", "X-Lna-Phases",
+	} {
+		if v := res.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Lna-Backend", b.URL)
+	w.Header().Set("X-Lna-Attempts", strconv.Itoa(attempts))
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}
+
+func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.AnalyzeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		service.WriteWireError(w, service.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Validate at the edge: a malformed request must not cost a backend
+	// round trip (or an admission slot).
+	if werr := service.ValidateRequest(&req); werr != nil {
+		service.WriteWireError(w, werr.Code, "%s", werr.Message)
+		return
+	}
+	select {
+	case g.inflight <- struct{}{}:
+		defer func() { <-g.inflight }()
+	default:
+		g.rejected.Add(1)
+		g.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		service.WriteWireError(w, service.CodeQueueFull,
+			"gateway admission queue is full (%d in flight)", g.opts.MaxInflight)
+		return
+	}
+	g.requests.Add(1)
+	g.mRequests.Inc()
+
+	// Route by the same content-hash key the backends cache under —
+	// the whole point of the tier: one key, one replica, one warm cache.
+	key := service.CacheKey(&req)
+	candidates := g.pool.candidates(key, 1+g.opts.Retries)
+	if len(candidates) == 0 {
+		g.rejected.Add(1)
+		g.mRejected.Inc()
+		service.WriteWireError(w, service.CodeBackendUnavailable, "no healthy backends")
+		return
+	}
+	// The original body bytes are forwarded verbatim: the gateway never
+	// re-encodes a request, so backend-side validation, hashing, and
+	// caching see exactly what the client sent.
+	res, b, attempts, err := g.forward(r.Context(), "/v1/analyze", body, candidates)
+	if err != nil {
+		g.rejected.Add(1)
+		g.mRejected.Inc()
+		service.WriteWireError(w, service.CodeBackendUnavailable,
+			"all %d candidate backend(s) failed: %v", len(candidates), err)
+		return
+	}
+	relay(w, res, b, attempts)
+}
+
+// batchGroup is one backend's share of a batch: the indices (into the
+// original request list) it owns this round.
+type batchGroup struct {
+	b   *Backend
+	idx []int
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var batch service.BatchRequest
+	if err := json.Unmarshal(body, &batch); err != nil {
+		service.WriteWireError(w, service.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		service.WriteWireError(w, service.CodeBadRequest, "empty batch")
+		return
+	}
+	if len(batch.Requests) > service.MaxBatch {
+		service.WriteWireError(w, service.CodeBadRequest,
+			"batch of %d exceeds the %d-module limit", len(batch.Requests), service.MaxBatch)
+		return
+	}
+	g.batches.Add(1)
+	g.mRequests.Inc()
+
+	out := service.BatchResponse{Results: make([]service.BatchEntry, len(batch.Requests))}
+	// Edge admission, mirroring the daemon: inadmissible entries get
+	// their per-entry error here and are never forwarded.
+	pending := make([]int, 0, len(batch.Requests))
+	for i := range batch.Requests {
+		if werr := service.ValidateRequest(&batch.Requests[i]); werr != nil {
+			out.Results[i].Error = werr
+			out.Summary.Rejected++
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	// Split by owning backend, forward sub-batches concurrently, and
+	// reroute a failed group's indices across the (now smaller) ring —
+	// up to Retries extra rounds, so a backend dying mid-batch costs
+	// its group one reroute, not the whole batch.
+	var mu sync.Mutex // guards out + summary merges
+	for round := 0; round <= g.opts.Retries && len(pending) > 0; round++ {
+		groups := make(map[*Backend]*batchGroup)
+		unroutable := pending[:0:0]
+		for _, i := range pending {
+			key := service.CacheKey(&batch.Requests[i])
+			cands := g.pool.candidates(key, 1)
+			if len(cands) == 0 {
+				unroutable = append(unroutable, i)
+				continue
+			}
+			grp := groups[cands[0]]
+			if grp == nil {
+				grp = &batchGroup{b: cands[0]}
+				groups[cands[0]] = grp
+			}
+			grp.idx = append(grp.idx, i)
+		}
+		var (
+			wg      sync.WaitGroup
+			retryMu sync.Mutex
+			retry   []int
+		)
+		for _, grp := range groups {
+			wg.Add(1)
+			go func(grp *batchGroup) {
+				defer wg.Done()
+				sub := service.BatchRequest{Requests: make([]service.AnalyzeRequest, len(grp.idx))}
+				for j, i := range grp.idx {
+					sub.Requests[j] = batch.Requests[i]
+				}
+				subBody, err := json.Marshal(sub)
+				if err == nil {
+					f := g.tryOne(r.Context(), "/v1/batch", subBody, grp.b)
+					if f.done() && f.res.Status == http.StatusOK {
+						var subOut service.BatchResponse
+						if jerr := json.Unmarshal(f.res.Body, &subOut); jerr == nil && len(subOut.Results) == len(grp.idx) {
+							mu.Lock()
+							for j, i := range grp.idx {
+								out.Results[i] = subOut.Results[j]
+							}
+							out.Summary.CacheHits += subOut.Summary.CacheHits
+							out.Summary.CacheMisses += subOut.Summary.CacheMisses
+							out.Summary.Failures += subOut.Summary.Failures
+							out.Summary.Findings += subOut.Summary.Findings
+							out.Summary.Rejected += subOut.Summary.Rejected
+							mu.Unlock()
+							return
+						}
+					}
+				}
+				// Transport failure, retryable status, or an undecodable
+				// answer: this group goes back in the pot. tryOne already
+				// removed a dead backend from the ring, so the next round
+				// re-owns these keys on the survivors.
+				g.retries.Add(1)
+				g.mRetries.Inc()
+				retryMu.Lock()
+				retry = append(retry, grp.idx...)
+				retryMu.Unlock()
+			}(grp)
+		}
+		wg.Wait()
+		pending = append(unroutable, retry...)
+		if r.Context().Err() != nil {
+			return // client went away mid-batch
+		}
+	}
+	// Whatever is still pending has no serving backend: per-entry
+	// errors, never a dropped batch.
+	for _, i := range pending {
+		out.Results[i].Error = &service.WireError{
+			Code:    service.CodeBackendUnavailable,
+			Message: "no backend could serve this entry",
+		}
+		out.Summary.Rejected++
+	}
+	out.Summary.Modules = len(batch.Requests)
+
+	w.Header().Set("Content-Type", "application/json")
+	dispositions := make([]string, len(out.Results))
+	for i, res := range out.Results {
+		switch {
+		case res.Error != nil:
+			dispositions[i] = "error"
+		case res.Cached:
+			dispositions[i] = "hit"
+		default:
+			dispositions[i] = "miss"
+		}
+	}
+	w.Header().Set("X-Lna-Cache", strings.Join(dispositions, ","))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// GatewayHealth is the gateway's /v1/health payload: its own status
+// plus the per-backend states.
+type GatewayHealth struct {
+	Status     string         `json:"status"` // "ok" while >= 1 backend is healthy
+	APIVersion string         `json:"api_version"`
+	Backends   []BackendState `json:"backends"`
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if g.pool.healthyCount() == 0 {
+		status = "unavailable"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(GatewayHealth{
+		Status:     status,
+		APIVersion: service.APIVersion,
+		Backends:   g.pool.states(),
+	})
+}
+
+// GatewayStats is the gateway's /v1/stats payload.
+type GatewayStats struct {
+	Backends        []BackendState `json:"backends"`
+	HealthyBackends int            `json:"healthy_backends"`
+	MaxInflight     int            `json:"max_inflight"`
+	Requests        uint64         `json:"requests"`
+	BatchRequests   uint64         `json:"batch_requests"`
+	Rejected        uint64         `json:"rejected"`
+	Retries         uint64         `json:"retries"`
+	Hedges          uint64         `json:"hedges"`
+	HedgeWins       uint64         `json:"hedge_wins"`
+}
+
+// Stats snapshots the gateway's counters.
+func (g *Gateway) Stats() GatewayStats {
+	return GatewayStats{
+		Backends:        g.pool.states(),
+		HealthyBackends: g.pool.healthyCount(),
+		MaxInflight:     g.opts.MaxInflight,
+		Requests:        g.requests.Load(),
+		BatchRequests:   g.batches.Load(),
+		Rejected:        g.rejected.Load(),
+		Retries:         g.retries.Load(),
+		Hedges:          g.hedges.Load(),
+		HedgeWins:       g.hedgeWon.Load(),
+	}
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(g.Stats())
+}
+
+// handleMetrics serves the process-wide registry, exactly like the
+// daemon's endpoint (an embedded gateway and daemon share one
+// registry; a standalone gateway exposes only its own instruments).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	format := r.URL.Query().Get("format")
+	if format == "prometheus" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+		return
+	}
+	if format != "" && format != "json" {
+		service.WriteWireError(w, service.CodeBadRequest, "unknown format %q (want json|prometheus)", format)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = reg.WriteJSON(w)
+}
+
+// ListenAndServe binds addr (port 0 picks a free port), starts the
+// health sweep, reports the bound address through ready (when
+// non-nil), and serves until ctx is cancelled, then shuts down
+// gracefully like the daemon.
+func (g *Gateway) ListenAndServe(ctx context.Context, addr string, ready func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.Start()
+	defer g.Shutdown()
+	hs := &http.Server{Handler: g.Handler()}
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), service.DefaultDrainTimeout)
+		defer cancel()
+		drained <- hs.Shutdown(shutdownCtx)
+	}()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() != nil {
+		return <-drained
+	}
+	return nil
+}

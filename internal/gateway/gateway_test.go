@@ -1,0 +1,588 @@
+// Failure-mode and differential tests for the gateway tier, driven
+// through internal/client like any remote caller. The backends are
+// real in-process daemons behind a switchable proxy wrapper that can
+// delay traffic (hedging tests) or kill connections outright (death
+// and reroute tests) — so every failure the gateway handles here is a
+// transport-level fact, not a mock's opinion.
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"localalias/internal/client"
+	"localalias/internal/drivergen"
+	"localalias/internal/gateway"
+	"localalias/internal/service"
+)
+
+const checkSrc = `fun f(x: ref int): int {
+    restrict y = x {
+        return *y;
+    }
+    return 0;
+}
+`
+
+// wrapper fronts one replica and injects faults on demand.
+type wrapper struct {
+	inner http.Handler
+	// delayNs, when > 0, sleeps every /v1/analyze and /v1/batch request
+	// (health stays fast, so the replica looks alive but slow).
+	delayNs atomic.Int64
+	// dead, when set, kills every connection at the TCP level — the
+	// closest in-process stand-in for a crashed replica.
+	dead atomic.Bool
+	// killNextBatch arms a one-shot: the next /v1/batch request flips
+	// dead and drops its connection mid-request.
+	killNextBatch atomic.Bool
+}
+
+func (w *wrapper) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if w.killNextBatch.Load() && r.URL.Path == "/v1/batch" && w.killNextBatch.CompareAndSwap(true, false) {
+		w.dead.Store(true)
+	}
+	if w.dead.Load() {
+		if hj, ok := rw.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic("wrapper: cannot hijack connection to simulate death")
+	}
+	if d := w.delayNs.Load(); d > 0 && (r.URL.Path == "/v1/analyze" || r.URL.Path == "/v1/batch") {
+		time.Sleep(time.Duration(d))
+	}
+	w.inner.ServeHTTP(rw, r)
+}
+
+type replica struct {
+	srv  *service.Server
+	ts   *httptest.Server
+	wrap *wrapper
+}
+
+// newCluster boots n wrapped daemons and a gateway over them. The
+// health interval is an hour: sweeps happen only through CheckNow, so
+// every membership change in a test is explicit and deterministic.
+func newCluster(t *testing.T, n int, opts gateway.Options) (*gateway.Gateway, *client.Client, []*replica) {
+	t.Helper()
+	reps := make([]*replica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		srv := service.NewServer(service.ServerOptions{Workers: 2})
+		w := &wrapper{inner: srv.Handler()}
+		ts := httptest.NewServer(w)
+		t.Cleanup(ts.Close)
+		reps[i] = &replica{srv: srv, ts: ts, wrap: w}
+		urls[i] = ts.URL
+	}
+	opts.Backends = urls
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = time.Hour
+	}
+	g, err := gateway.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(g.Handler())
+	t.Cleanup(gts.Close)
+	c := client.New(gts.URL, client.Options{Retry: client.RetryPolicy{MaxAttempts: 1}})
+	return g, c, reps
+}
+
+func corpusRequests(n int) []service.AnalyzeRequest {
+	reqs := make([]service.AnalyzeRequest, 0, n)
+	for _, spec := range drivergen.Corpus()[:n] {
+		reqs = append(reqs, service.AnalyzeRequest{Module: spec.Name + ".mc", Source: spec.Source()})
+	}
+	return reqs
+}
+
+// findOwnedModule probes the gateway until it sees a module routed to
+// (or away from, per want) the given backend URL, returning the
+// request. The probe warms nothing that matters: routing is a pure
+// function of the cache key.
+func findOwnedModule(t *testing.T, c *client.Client, url string, owned bool) service.AnalyzeRequest {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		req := service.AnalyzeRequest{
+			Module: fmt.Sprintf("probe-%02d.mc", i), Source: checkSrc,
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}}
+		_, meta, err := c.AnalyzeRaw(context.Background(), &req)
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if (meta.Backend == url) == owned {
+			return req
+		}
+	}
+	t.Fatalf("no probe module routed with owned=%v for %s in 64 tries", owned, url)
+	return service.AnalyzeRequest{}
+}
+
+// TestGatewayAnalyzeByteIdentity: every corpus module served through
+// the gateway answers byte-identically to a direct engine run — the
+// acceptance criterion that makes the tier transparent. Full
+// 589-module corpus; -short covers a 60-module prefix.
+func TestGatewayAnalyzeByteIdentity(t *testing.T) {
+	specs := drivergen.Corpus()
+	if testing.Short() {
+		specs = specs[:60]
+	}
+	_, c, reps := newCluster(t, 2, gateway.Options{})
+	served := map[string]int{}
+	for _, spec := range specs {
+		req := service.AnalyzeRequest{Module: spec.Name + ".mc", Source: spec.Source()}
+		viaGateway, meta, err := c.AnalyzeRaw(context.Background(), &req)
+		if err != nil {
+			t.Fatalf("%s via gateway: %v", spec.Name, err)
+		}
+		direct, err := service.Analyze(context.Background(), &req).MarshalCanonical()
+		if err != nil {
+			t.Fatalf("%s direct: %v", spec.Name, err)
+		}
+		if !bytes.Equal(viaGateway, direct) {
+			t.Fatalf("%s: gateway bytes differ from direct analysis\n--- gateway\n%s\n--- direct\n%s",
+				spec.Name, viaGateway, direct)
+		}
+		if meta.Backend == "" {
+			t.Fatalf("%s: response lacks X-Lna-Backend", spec.Name)
+		}
+		if want := service.CacheKey(&req); meta.CacheKey != want {
+			t.Fatalf("%s: relayed cache key %q != %q", spec.Name, meta.CacheKey, want)
+		}
+		served[meta.Backend]++
+	}
+	if len(served) != 2 {
+		t.Errorf("corpus landed on %d backend(s), want both: %v", len(served), served)
+	}
+	for _, r := range reps {
+		if r.wrap.dead.Load() {
+			t.Error("a replica died during a healthy run")
+		}
+	}
+}
+
+// TestGatewayBatchByteIdentity: a 200-module batch through the gateway
+// carries per-entry response bytes identical to a direct daemon's
+// batch, with matching summaries.
+func TestGatewayBatchByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-module batch in -short mode")
+	}
+	_, gc, _ := newCluster(t, 2, gateway.Options{})
+	direct := service.NewServer(service.ServerOptions{Workers: 2})
+	dts := httptest.NewServer(direct.Handler())
+	defer dts.Close()
+	dc := client.New(dts.URL, client.Options{})
+
+	reqs := corpusRequests(200)
+	viaGateway, _, err := gc.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("gateway batch: %v", err)
+	}
+	viaDaemon, _, err := dc.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("direct batch: %v", err)
+	}
+	if viaGateway.Summary.Modules != 200 || viaGateway.Summary.Failures != 0 || viaGateway.Summary.Rejected != 0 {
+		t.Fatalf("gateway summary = %+v", viaGateway.Summary)
+	}
+	for i := range reqs {
+		gw, dm := viaGateway.Results[i], viaDaemon.Results[i]
+		if !bytes.Equal(gw.Response, dm.Response) {
+			t.Errorf("entry %d (%s): gateway response bytes differ from direct daemon",
+				i, reqs[i].Module)
+		}
+		if gw.CacheKey != dm.CacheKey {
+			t.Errorf("entry %d: cache key differs through the gateway", i)
+		}
+	}
+	if viaGateway.Summary.CacheMisses != viaDaemon.Summary.CacheMisses ||
+		viaGateway.Summary.Findings != viaDaemon.Summary.Findings {
+		t.Errorf("summaries diverge: gateway %+v vs daemon %+v", viaGateway.Summary, viaDaemon.Summary)
+	}
+}
+
+// TestGatewayCacheAffinity: replaying a batch through a 2-replica
+// gateway hits every entry on the second pass — consistent hashing
+// sends each key back to the replica that cached it, so the hit rate
+// is no worse than a single daemon's.
+func TestGatewayCacheAffinity(t *testing.T) {
+	g, gc, reps := newCluster(t, 2, gateway.Options{})
+	reqs := corpusRequests(40)
+
+	first, _, err := gc.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Summary.CacheMisses != 40 {
+		t.Fatalf("first pass summary = %+v; want 40 misses", first.Summary)
+	}
+	second, _, err := gc.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-daemon baseline for the same replay.
+	direct := service.NewServer(service.ServerOptions{Workers: 2})
+	dts := httptest.NewServer(direct.Handler())
+	defer dts.Close()
+	dc := client.New(dts.URL, client.Options{})
+	if _, _, err := dc.Batch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	baseline, _, err := dc.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Summary.CacheHits < baseline.Summary.CacheHits {
+		t.Errorf("gateway replay hit %d/40; single daemon hit %d/40 — affinity lost",
+			second.Summary.CacheHits, baseline.Summary.CacheHits)
+	}
+	if second.Summary.CacheHits != 40 {
+		t.Errorf("gateway replay hit %d/40; identical resubmission should hit fully", second.Summary.CacheHits)
+	}
+	// Both replicas must actually share the load for affinity to mean
+	// anything.
+	for _, st := range g.BackendStates() {
+		if st.Forwarded == 0 {
+			t.Errorf("backend %s served nothing in a 40-module corpus", st.URL)
+		}
+	}
+	_ = reps
+}
+
+// TestGatewayValidationAtEdge: inadmissible requests are refused by
+// the gateway itself — the canonical error comes back and no backend
+// spends a round trip.
+func TestGatewayValidationAtEdge(t *testing.T) {
+	g, c, _ := newCluster(t, 2, gateway.Options{})
+	cases := []struct {
+		name string
+		req  service.AnalyzeRequest
+		code string
+	}{
+		{"bad mode", service.AnalyzeRequest{Module: "m.mc", Source: "x",
+			Options: service.AnalyzeOptions{Mode: "optimize"}}, service.CodeBadRequest},
+		{"empty source", service.AnalyzeRequest{Module: "m.mc",
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}}, service.CodeBadRequest},
+		{"future version", service.AnalyzeRequest{APIVersion: "v9", Module: "m.mc", Source: "x",
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}}, service.CodeUnsupportedVersion},
+	}
+	for _, tc := range cases {
+		_, _, err := c.Analyze(context.Background(), &tc.req)
+		apiErr, ok := err.(*client.APIError)
+		if !ok {
+			t.Fatalf("%s: err = %v; want *client.APIError", tc.name, err)
+		}
+		if apiErr.Status != http.StatusBadRequest || apiErr.Err.Code != tc.code {
+			t.Errorf("%s: status %d code %q; want 400 %q", tc.name, apiErr.Status, apiErr.Err.Code, tc.code)
+		}
+	}
+	for _, st := range g.BackendStates() {
+		if st.Forwarded != 0 {
+			t.Errorf("backend %s saw %d forwards from invalid requests", st.URL, st.Forwarded)
+		}
+	}
+	// A batch mixing valid and invalid entries: invalid ones error at
+	// the edge, valid ones analyze.
+	out, _, err := c.Batch(context.Background(), []service.AnalyzeRequest{
+		{Module: "ok.mc", Source: checkSrc, Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+		{Module: "bad.mc", Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Error != nil || len(out.Results[0].Response) == 0 {
+		t.Errorf("valid entry degraded: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == nil || out.Results[1].Error.Code != service.CodeBadRequest {
+		t.Errorf("invalid entry error = %+v", out.Results[1].Error)
+	}
+	if out.Summary.Rejected != 1 {
+		t.Errorf("summary rejected = %d, want 1", out.Summary.Rejected)
+	}
+}
+
+// TestGatewayAdmissionControl: with one admission slot occupied by a
+// slow request, the next request is refused with the canonical 429 +
+// Retry-After before any backend is touched.
+func TestGatewayAdmissionControl(t *testing.T) {
+	g, c, reps := newCluster(t, 1, gateway.Options{MaxInflight: 1, Retries: -1})
+	reps[0].wrap.delayNs.Store(int64(2 * time.Second))
+	slowDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Analyze(context.Background(), &service.AnalyzeRequest{
+			Module: "slow.mc", Source: checkSrc,
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+		slowDone <- err
+	}()
+	// Wait until the slow request holds the slot.
+	deadline := time.After(5 * time.Second)
+	for g.Stats().Requests == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("slow request never admitted")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	body, _ := json.Marshal(service.AnalyzeRequest{
+		Module: "fast.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	res, err := c.RoundTrip(context.Background(), "/v1/analyze", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", res.Status, res.Body)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("429 lacks Retry-After")
+	}
+	if werr := res.WireError(); werr.Code != service.CodeQueueFull {
+		t.Errorf("code = %q, want %q", werr.Code, service.CodeQueueFull)
+	}
+	reps[0].wrap.delayNs.Store(0)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow request failed: %v", err)
+	}
+	if g.Stats().Rejected == 0 {
+		t.Error("gateway rejected counter did not move")
+	}
+}
+
+// TestGatewayNoHealthyBackends: when every replica is gone, the
+// gateway answers 503 backend_unavailable itself and its health
+// endpoint says so.
+func TestGatewayNoHealthyBackends(t *testing.T) {
+	g, c, reps := newCluster(t, 1, gateway.Options{})
+	reps[0].wrap.dead.Store(true)
+	g.CheckNow(context.Background())
+
+	_, _, err := c.Analyze(context.Background(), &service.AnalyzeRequest{
+		Module: "m.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("err = %v; want *client.APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Err.Code != service.CodeBackendUnavailable {
+		t.Errorf("got %d %q; want 503 %q", apiErr.Status, apiErr.Err.Code, service.CodeBackendUnavailable)
+	}
+	resp, err := http.Get(c.BaseURL() + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gh gateway.GatewayHealth
+	if err := json.NewDecoder(resp.Body).Decode(&gh); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gh.Status != "unavailable" || len(gh.Backends) != 1 || gh.Backends[0].Healthy {
+		t.Errorf("health = %+v; want unavailable with 1 unhealthy backend", gh)
+	}
+	if gh.Backends[0].LastError == "" {
+		t.Error("unhealthy backend carries no last_error")
+	}
+}
+
+// TestGatewayDrainingBackendRemoved: a replica that reports draining
+// is removed from the pool on the next sweep, traffic reroutes to the
+// survivor, and the replica rejoins once it is healthy again.
+func TestGatewayDrainingBackendRemoved(t *testing.T) {
+	g, c, reps := newCluster(t, 2, gateway.Options{})
+	// A module the draining replica owns, found while it is healthy.
+	req := findOwnedModule(t, c, reps[0].ts.URL, true)
+
+	reps[0].srv.SetDraining(true)
+	g.CheckNow(context.Background())
+	var drainedState gateway.BackendState
+	for _, st := range g.BackendStates() {
+		if st.URL == reps[0].ts.URL {
+			drainedState = st
+		}
+	}
+	if drainedState.Healthy {
+		t.Fatal("draining replica still in the pool after a sweep")
+	}
+	if !strings.Contains(drainedState.LastError, "draining") {
+		t.Errorf("last_error = %q; want the draining status", drainedState.LastError)
+	}
+	// Its keys now land on the survivor.
+	_, meta, err := c.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("analyze while replica drains: %v", err)
+	}
+	if meta.Backend != reps[1].ts.URL {
+		t.Errorf("rerouted request served by %s; want the survivor %s", meta.Backend, reps[1].ts.URL)
+	}
+
+	// Drain ends: the sweep re-admits the replica and ownership returns.
+	reps[0].srv.SetDraining(false)
+	g.CheckNow(context.Background())
+	_, meta, err = c.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Backend != reps[0].ts.URL {
+		t.Errorf("after rejoin, request served by %s; want its owner %s back", meta.Backend, reps[0].ts.URL)
+	}
+}
+
+// TestGatewayAnalyzeReroutesOnDeath: a request whose owner is dead
+// walks the ring to the successor and still answers byte-identically,
+// and the dead replica leaves the pool immediately (no sweep needed).
+func TestGatewayAnalyzeReroutesOnDeath(t *testing.T) {
+	_, c, reps := newCluster(t, 2, gateway.Options{Retries: 1})
+	req := findOwnedModule(t, c, reps[0].ts.URL, true)
+	reps[0].wrap.dead.Store(true)
+
+	body, meta, err := c.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("analyze with dead owner: %v", err)
+	}
+	if meta.Backend != reps[1].ts.URL {
+		t.Errorf("served by %s; want the survivor %s", meta.Backend, reps[1].ts.URL)
+	}
+	if meta.Attempts != 2 {
+		t.Errorf("attempts = %d; want 2 (owner failed, successor served)", meta.Attempts)
+	}
+	direct, err := service.Analyze(context.Background(), &req).MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, direct) {
+		t.Error("rerouted response bytes differ from direct analysis")
+	}
+}
+
+// TestGatewayBatchSurvivesBackendDeath: a replica dying mid-batch
+// (connection dropped while its sub-batch is in flight) costs its
+// group one reroute; the batch completes with every entry healthy.
+func TestGatewayBatchSurvivesBackendDeath(t *testing.T) {
+	g, c, reps := newCluster(t, 2, gateway.Options{Retries: 2})
+	reqs := corpusRequests(30)
+	for i := range reqs {
+		reqs[i].Options.Mode = service.ModeCheck
+	}
+	// Arm the one-shot: replica 0 drops the connection on its next
+	// sub-batch and stays dead.
+	reps[0].wrap.killNextBatch.Store(true)
+
+	out, _, err := c.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("batch across a dying replica: %v", err)
+	}
+	if out.Summary.Modules != 30 || out.Summary.Rejected != 0 || out.Summary.Failures != 0 {
+		t.Fatalf("summary = %+v; want 30 healthy modules", out.Summary)
+	}
+	for i, entry := range out.Results {
+		if entry.Error != nil {
+			t.Errorf("entry %d carries error %v after reroute", i, entry.Error)
+		}
+		if len(entry.Response) == 0 {
+			t.Errorf("entry %d has no response", i)
+		}
+	}
+	st := g.Stats()
+	if st.Retries == 0 {
+		t.Error("retry counter did not move though a sub-batch died")
+	}
+	for _, bs := range g.BackendStates() {
+		if bs.URL == reps[0].ts.URL && bs.Healthy {
+			t.Error("dead replica still marked healthy")
+		}
+	}
+}
+
+// TestGatewayHedgedRequestFirstWinner: when the owner stalls past
+// HedgeAfter, the gateway races the successor and relays whichever
+// answers first — here the successor — then cancels the loser without
+// evicting it from the pool.
+func TestGatewayHedgedRequestFirstWinner(t *testing.T) {
+	// Discover ownership with a hedging-free gateway, then build the
+	// hedging gateway over the same replicas (same URLs, same ring).
+	_, probe, reps := newCluster(t, 2, gateway.Options{})
+	req := findOwnedModule(t, probe, reps[0].ts.URL, true)
+
+	hg, err := gateway.New(gateway.Options{
+		Backends:       []string{reps[0].ts.URL, reps[1].ts.URL},
+		HedgeAfter:     25 * time.Millisecond,
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(hg.Handler())
+	defer hts.Close()
+	hc := client.New(hts.URL, client.Options{Retry: client.RetryPolicy{MaxAttempts: 1}})
+
+	reps[0].wrap.delayNs.Store(int64(1500 * time.Millisecond))
+	defer reps[0].wrap.delayNs.Store(0)
+
+	start := time.Now()
+	body, meta, err := hc.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("hedged analyze: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 1500*time.Millisecond {
+		t.Errorf("hedged request took %v — it waited for the stalled owner", elapsed)
+	}
+	if meta.Backend != reps[1].ts.URL {
+		t.Errorf("winner = %s; want the hedge target %s", meta.Backend, reps[1].ts.URL)
+	}
+	if meta.Attempts != 2 {
+		t.Errorf("attempts = %d; want 2 (owner + hedge)", meta.Attempts)
+	}
+	direct, err := service.Analyze(context.Background(), &req).MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, direct) {
+		t.Error("hedged response bytes differ from direct analysis")
+	}
+	st := hg.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("hedge counters = %d launched / %d won; want 1/1", st.Hedges, st.HedgeWins)
+	}
+	// The cancelled owner is slow, not dead: it must stay in the pool.
+	for _, bs := range hg.BackendStates() {
+		if bs.URL == reps[0].ts.URL && !bs.Healthy {
+			t.Error("stalled owner was evicted by a cancelled hedge loser")
+		}
+	}
+}
+
+// TestGatewayStatsEndpoint: the stats payload decodes and reflects
+// served traffic.
+func TestGatewayStatsEndpoint(t *testing.T) {
+	_, c, _ := newCluster(t, 2, gateway.Options{})
+	if _, _, err := c.AnalyzeRaw(context.Background(), &service.AnalyzeRequest{
+		Module: "s.mc", Source: checkSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(c.BaseURL() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st gateway.GatewayStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 1 || st.HealthyBackends != 2 || len(st.Backends) != 2 {
+		t.Errorf("stats = %+v; want 1 request over 2 healthy backends", st)
+	}
+}

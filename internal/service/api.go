@@ -87,6 +87,11 @@ type AnalyzeOptions struct {
 
 // AnalyzeRequest is one module submitted for analysis.
 type AnalyzeRequest struct {
+	// APIVersion names the wire contract the client speaks ("" means
+	// the current version, APIVersion). Servers reject any other value
+	// with a structured unsupported_api_version error instead of
+	// silently analyzing under assumptions the client did not make.
+	APIVersion string `json:"api_version,omitempty"`
 	// Module is the display name used in diagnostics ("" defaults to
 	// "module.mc").
 	Module string `json:"module"`

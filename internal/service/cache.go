@@ -42,8 +42,12 @@ func CacheKey(req *AnalyzeRequest) string {
 		// the guard test rejects first.
 		panic(fmt.Sprintf("service: AnalyzeOptions not canonically encodable: %v", err))
 	}
+	version := req.APIVersion
+	if version == "" {
+		version = APIVersion
+	}
 	h := sha256.New()
-	for _, part := range []string{"lna/" + APIVersion, req.Module, string(enc), req.Source} {
+	for _, part := range []string{"lna/" + version, req.Module, string(enc), req.Source} {
 		h.Write([]byte(part))
 		h.Write([]byte{0})
 	}

@@ -51,6 +51,12 @@ func TestCacheKeySensitivity(t *testing.T) {
 	if CacheKey(&dflt) != CacheKey(&qual) {
 		t.Error(`mode "" and mode "qual" should share a cache key`)
 	}
+	// "" selects the current API version, so it must share v1's key.
+	versioned := base
+	versioned.APIVersion = APIVersion
+	if CacheKey(&base) != CacheKey(&versioned) {
+		t.Error(`api_version "" and the current version should share a cache key`)
+	}
 }
 
 // TestCacheHitMissAccounting: gets and puts keep exact counters.
@@ -231,7 +237,7 @@ func TestCacheKeyRequestFieldContract(t *testing.T) {
 			t.Errorf("AnalyzeRequest.%s is exempted here but serialized on the wire — it must perturb the cache key instead", f.Name)
 		case !tagged:
 			switch f.Name {
-			case "Module", "Source":
+			case "APIVersion", "Module", "Source":
 				a := AnalyzeRequest{Module: "m.mc", Source: "s"}
 				b := a
 				reflect.ValueOf(&b).Elem().Field(i).SetString("other")

@@ -1,0 +1,20 @@
+package service
+
+import "context"
+
+// Test-only seams for the external wire-contract suites (package
+// service_test), which exercise the daemon through internal/client the
+// way real remote callers do and therefore cannot touch unexported
+// state directly.
+
+// SetTestAnalyzeHook installs (or, with nil, removes) the engine's
+// test-only analysis hook: f runs inside the fault guard before every
+// analysis, so external suites can inject panics and stalls per module.
+func SetTestAnalyzeHook(f func(ctx context.Context, module string)) {
+	testAnalyzeHook = f
+}
+
+// CleanCheckSrc is the minimal healthy check-mode module the in-package
+// tests use, shared so the external suites assert against the same
+// source text.
+const CleanCheckSrc = cleanCheckSrc

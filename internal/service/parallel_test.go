@@ -1,4 +1,4 @@
-package service
+package service_test
 
 // End-to-end determinism tests for the component-partitioned parallel
 // solver (docs/ALGORITHMS.md "Component-partitioned solving"): the
@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"localalias/internal/drivergen"
+	"localalias/internal/service"
 )
 
 // TestParallelCorpusByteIdentity: every corpus module analyzed with the
@@ -32,13 +33,13 @@ func TestParallelCorpusByteIdentity(t *testing.T) {
 	mismatches := 0
 	for _, spec := range specs {
 		src := spec.Source()
-		seq, err := Analyze(context.Background(), &AnalyzeRequest{
+		seq, err := service.Analyze(context.Background(), &service.AnalyzeRequest{
 			Module: spec.Name + ".mc", Source: src, SolverWorkers: 1,
 		}).MarshalCanonical()
 		if err != nil {
 			t.Fatalf("%s sequential: %v", spec.Name, err)
 		}
-		par, err := Analyze(context.Background(), &AnalyzeRequest{
+		par, err := service.Analyze(context.Background(), &service.AnalyzeRequest{
 			Module: spec.Name + ".mc", Source: src, SolverWorkers: 4,
 		}).MarshalCanonical()
 		if err != nil {
@@ -63,31 +64,25 @@ func TestServerBatchParallelSolver(t *testing.T) {
 	if testing.Short() {
 		t.Skip("200-module batch in -short mode")
 	}
-	_, seqTS := newTestServer(t, ServerOptions{Workers: 2})
-	_, parTS := newTestServer(t, ServerOptions{Workers: 2, SolverWorkers: 4})
-	batch := corpusBatch(200)
+	_, seqC := newTestServer(t, service.ServerOptions{Workers: 2})
+	_, parC := newTestServer(t, service.ServerOptions{Workers: 2, SolverWorkers: 4})
+	reqs := corpusBatch(200)
 
-	run := func(url string) BatchResponse {
-		t.Helper()
-		resp := postJSON(t, url+"/v1/batch", batch)
-		body := readBody(t, resp)
-		if resp.StatusCode != 200 {
-			t.Fatalf("status = %d: %s", resp.StatusCode, body)
-		}
-		var out BatchResponse
-		if err := json.Unmarshal(body, &out); err != nil {
-			t.Fatal(err)
-		}
-		return out
+	seq, _, err := seqC.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("sequential daemon: %v", err)
 	}
-	seq, par := run(seqTS.URL), run(parTS.URL)
+	par, _, err := parC.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("parallel daemon: %v", err)
+	}
 	if par.Summary.Modules != 200 || par.Summary.Failures != 0 {
 		t.Fatalf("parallel batch summary = %+v; want 200 healthy modules", par.Summary)
 	}
 	for i := range par.Results {
 		if !bytes.Equal(seq.Results[i].Response, par.Results[i].Response) {
 			t.Errorf("entry %d (%s): parallel daemon served different bytes",
-				i, batch.Requests[i].Module)
+				i, reqs[i].Module)
 		}
 		if seq.Results[i].CacheKey != par.Results[i].CacheKey {
 			t.Errorf("entry %d: cache key depends on SolverWorkers", i)
@@ -100,34 +95,29 @@ func TestServerBatchParallelSolver(t *testing.T) {
 // its own batch entry; its neighbours — solved in parallel components
 // on the same process — still answer healthily.
 func TestServerBatchPanicIsolationParallel(t *testing.T) {
-	testAnalyzeHook = func(ctx context.Context, module string) {
+	service.SetTestAnalyzeHook(func(ctx context.Context, module string) {
 		if module == "bomb.mc" {
 			panic("injected parallel fault")
 		}
-	}
-	defer func() { testAnalyzeHook = nil }()
+	})
+	defer service.SetTestAnalyzeHook(nil)
 
-	_, ts := newTestServer(t, ServerOptions{Workers: 2, SolverWorkers: 4})
-	batch := corpusBatch(8)
-	batch.Requests = append(batch.Requests[:4], append([]AnalyzeRequest{{
-		Module: "bomb.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck},
-	}}, batch.Requests[4:]...)...)
+	_, c := newTestServer(t, service.ServerOptions{Workers: 2, SolverWorkers: 4})
+	reqs := corpusBatch(8)
+	reqs = append(reqs[:4], append([]service.AnalyzeRequest{{
+		Module: "bomb.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck},
+	}}, reqs[4:]...)...)
 
-	resp := postJSON(t, ts.URL+"/v1/batch", batch)
-	body := readBody(t, resp)
-	if resp.StatusCode != 200 {
-		t.Fatalf("status = %d: %s", resp.StatusCode, body)
-	}
-	var out BatchResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		t.Fatal(err)
+	out, _, err := c.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
 	}
 	if out.Summary.Failures != 1 {
 		t.Errorf("summary failures = %d, want exactly the injected one", out.Summary.Failures)
 	}
 	for i, entry := range out.Results {
-		var r AnalyzeResponse
+		var r service.AnalyzeResponse
 		if err := json.Unmarshal(entry.Response, &r); err != nil {
 			t.Fatalf("entry %d: %v", i, err)
 		}

@@ -235,42 +235,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if format != "" && format != "json" {
-		httpError(w, http.StatusBadRequest, "unknown format %q (want json|prometheus)", format)
+		WriteWireError(w, CodeBadRequest, "unknown format %q (want json|prometheus)", format)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = reg.WriteJSON(w)
 }
 
-// httpError writes a JSON error body with the given status.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // decodeRequest reads and validates one JSON body into dst.
 func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		WriteWireError(w, CodeMethodNotAllowed, "use POST")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		WriteWireError(w, CodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
 }
 
-// validate rejects requests the engine cannot serve before they cost
-// a queue slot.
-func validate(req *AnalyzeRequest) error {
+// ValidateRequest rejects requests the engine cannot serve before they
+// cost a queue slot (or, at a gateway, a backend round trip): an
+// unsupported api_version, an unknown analysis mode, or empty source.
+// nil means the request is admissible.
+func ValidateRequest(req *AnalyzeRequest) *WireError {
+	if req.APIVersion != "" && req.APIVersion != APIVersion {
+		return &WireError{Code: CodeUnsupportedVersion,
+			Message: fmt.Sprintf("api_version %q is not supported (this server speaks %q)", req.APIVersion, APIVersion)}
+	}
 	if !ValidMode(req.Options.Mode) {
-		return fmt.Errorf("unknown analysis mode %q (want check|infer|confine|qual)", req.Options.Mode)
+		return &WireError{Code: CodeBadRequest,
+			Message: fmt.Sprintf("unknown analysis mode %q (want check|infer|confine|qual)", req.Options.Mode)}
 	}
 	if req.Source == "" {
-		return errors.New("empty source")
+		return &WireError{Code: CodeBadRequest, Message: "empty source"}
 	}
 	return nil
 }
@@ -327,15 +327,15 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.rejected.Add(1)
 		s.mRejected.Inc()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteWireError(w, CodeDraining, "server is draining")
 		return
 	}
 	var req AnalyzeRequest
 	if !decodeRequest(w, r, &req) {
 		return
 	}
-	if err := validate(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	if werr := ValidateRequest(&req); werr != nil {
+		WriteWireError(w, werr.Code, "%s", werr.Message)
 		return
 	}
 	entry.Module, entry.Mode = req.Module, req.Options.Mode
@@ -349,7 +349,7 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		s.mRejected.Inc()
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight)", s.opts.QueueDepth)
+		WriteWireError(w, CodeQueueFull, "analysis queue is full (%d in flight)", s.opts.QueueDepth)
 		return
 	}
 	s.requests.Add(1)
@@ -366,7 +366,7 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 	defer s.releaseSlot()
 	data, key, hit, resp, inc, err := s.runCached(r.Context(), &req)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		WriteWireError(w, CodeInternal, "encoding response: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -408,11 +408,17 @@ type BatchEntry struct {
 	Cached   bool            `json:"cached"`
 	CacheKey string          `json:"cache_key"`
 	TraceID  string          `json:"trace_id"`
-	Response json.RawMessage `json:"response"`
+	Response json.RawMessage `json:"response,omitempty"`
 	// Incremental is the reuse disposition of a cold entry
 	// (cold|partial|full; empty on cache hits and when incremental
 	// re-analysis is disabled).
 	Incremental string `json:"incremental,omitempty"`
+	// Error is set — and Response empty — when this entry was never
+	// analyzed: it failed admission (unknown mode, empty source,
+	// unsupported api_version) or, at a gateway, no backend could
+	// serve it. A batch therefore distinguishes "analyzed, result
+	// empty" from "rejected" per entry instead of failing whole.
+	Error *WireError `json:"error,omitempty"`
 }
 
 // BatchSummary aggregates a batch.
@@ -422,6 +428,10 @@ type BatchSummary struct {
 	CacheMisses int `json:"cache_misses"`
 	Failures    int `json:"failures"`
 	Findings    int `json:"findings"`
+	// Rejected counts entries refused without analysis (their
+	// BatchEntry.Error says why); they appear in neither the hit nor
+	// the miss count.
+	Rejected int `json:"rejected"`
 }
 
 // BatchResponse answers /v1/batch; Results is index-aligned with the
@@ -443,7 +453,7 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.rejected.Add(1)
 		s.mRejected.Inc()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteWireError(w, CodeDraining, "server is draining")
 		return
 	}
 	var batch BatchRequest
@@ -451,18 +461,12 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(batch.Requests) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		WriteWireError(w, CodeBadRequest, "empty batch")
 		return
 	}
 	if len(batch.Requests) > MaxBatch {
-		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-module limit", len(batch.Requests), MaxBatch)
+		WriteWireError(w, CodeBadRequest, "batch of %d exceeds the %d-module limit", len(batch.Requests), MaxBatch)
 		return
-	}
-	for i := range batch.Requests {
-		if err := validate(&batch.Requests[i]); err != nil {
-			httpError(w, http.StatusBadRequest, "request %d: %v", i, err)
-			return
-		}
 	}
 	s.batches.Add(1)
 	s.mBatches.Inc()
@@ -478,6 +482,15 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 		mu sync.Mutex // guards the summary counters
 	)
 	for i := range batch.Requests {
+		// Admission is per entry: a module with an unknown mode or no
+		// source gets a structured per-entry error, and its healthy
+		// neighbours still analyze — clients distinguish "rejected"
+		// from "analyzed, result empty" by the Error field.
+		if werr := ValidateRequest(&batch.Requests[i]); werr != nil {
+			out.Results[i].Error = werr
+			out.Summary.Rejected++
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -491,7 +504,8 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 			defer s.releaseSlot()
 			data, key, hit, resp, inc, err := s.runCached(r.Context(), req)
 			if err != nil {
-				data, _ = json.Marshal(map[string]string{"error": err.Error()})
+				out.Results[i].Error = &WireError{Code: CodeInternal, Message: err.Error()}
+				data = nil
 			}
 			out.Results[i].Cached = hit
 			out.Results[i].CacheKey = key
@@ -526,9 +540,12 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	// body (see the header table in DESIGN.md).
 	dispositions := make([]string, len(out.Results))
 	for i, res := range out.Results {
-		if res.Cached {
+		switch {
+		case res.Error != nil:
+			dispositions[i] = "error"
+		case res.Cached:
 			dispositions[i] = "hit"
-		} else {
+		default:
 			dispositions[i] = "miss"
 		}
 	}
@@ -538,18 +555,33 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(out)
 }
 
+// HealthStatus is the /v1/health payload of one daemon.
+type HealthStatus struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	APIVersion string `json:"api_version"`
+	Workers    int    `json:"workers"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	if s.draining.Load() {
 		status = "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status":      status,
-		"api_version": APIVersion,
-		"workers":     s.opts.Workers,
+	_ = json.NewEncoder(w).Encode(HealthStatus{
+		Status:     status,
+		APIVersion: APIVersion,
+		Workers:    s.opts.Workers,
 	})
 }
+
+// SetDraining administratively toggles the draining state: while
+// draining, /v1/health reports it and new submissions are refused with
+// the canonical draining error. Operators use this (via a preStop
+// hook) to have a gateway's health checks remove the replica from its
+// pool before the process receives SIGTERM; ListenAndServe sets it
+// automatically on shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")

@@ -1,7 +1,8 @@
-package service
+package service_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,7 +10,9 @@ import (
 	"sync"
 	"testing"
 
+	"localalias/internal/client"
 	"localalias/internal/obs"
+	"localalias/internal/service"
 )
 
 // metricValue digs one counter's value out of a /v1/metrics JSON
@@ -50,17 +53,26 @@ func scrapeJSON(t *testing.T, url string) map[string]any {
 	return doc
 }
 
+func mustAnalyze(t *testing.T, c *client.Client, req service.AnalyzeRequest) client.Meta {
+	t.Helper()
+	_, meta, err := c.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("AnalyzeRaw %s: %v", req.Module, err)
+	}
+	return meta
+}
+
 // TestMetricsEndpointShape: /v1/metrics serves the registry as JSON by
 // default and as Prometheus text on request, and both carry the
 // instruments this PR wires through the pipeline.
 func TestMetricsEndpointShape(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{})
+	_, c := newTestServer(t, service.ServerOptions{})
 	// Run one request so the request-scoped series exist.
-	readBody(t, postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
-		Module: "shape.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck}}))
+	mustAnalyze(t, c, service.AnalyzeRequest{
+		Module: "shape.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
 
-	doc := scrapeJSON(t, ts.URL)
+	doc := scrapeJSON(t, c.BaseURL())
 	for _, name := range []string{
 		"lna_requests_total",
 		"lna_analyze_seconds",
@@ -86,41 +98,47 @@ func TestMetricsEndpointShape(t *testing.T) {
 	}
 
 	// Prometheus exposition: via ?format= and via Accept.
-	for _, u := range []string{
-		ts.URL + "/v1/metrics?format=prometheus",
-	} {
-		resp, err := http.Get(u)
-		if err != nil {
-			t.Fatal(err)
-		}
-		body := string(readBody(t, resp))
-		if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
-			t.Fatalf("prometheus content type = %q", resp.Header.Get("Content-Type"))
-		}
-		for _, want := range []string{"# TYPE lna_requests_total counter", "# TYPE lna_analyze_seconds histogram", "lna_analyze_seconds_bucket{le=\"+Inf\"}"} {
-			if !strings.Contains(body, want) {
-				t.Errorf("prometheus exposition missing %q", want)
-			}
-		}
+	readAll := func(resp *http.Response) string {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return buf.String()
 	}
-	req, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
-	req.Header.Set("Accept", "text/plain")
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := http.Get(c.BaseURL() + "/v1/metrics?format=prometheus")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if body := string(readBody(t, resp)); !strings.Contains(body, "# HELP") {
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("prometheus content type = %q", resp.Header.Get("Content-Type"))
+	}
+	body := readAll(resp)
+	for _, want := range []string{"# TYPE lna_requests_total counter", "# TYPE lna_analyze_seconds histogram", "lna_analyze_seconds_bucket{le=\"+Inf\"}"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	req, _ := http.NewRequest("GET", c.BaseURL()+"/v1/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(resp); !strings.Contains(body, "# HELP") {
 		t.Error("Accept: text/plain did not select the Prometheus form")
 	}
 
-	// Unknown formats are a client error, not a silent default.
-	resp, err = http.Get(ts.URL + "/v1/metrics?format=xml")
+	// Unknown formats are a client error in the canonical shape, not a
+	// silent default.
+	resp, err = http.Get(c.BaseURL() + "/v1/metrics?format=xml")
 	if err != nil {
 		t.Fatal(err)
 	}
-	readBody(t, resp)
+	errBody := readAll(resp)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("format=xml status = %d, want 400", resp.StatusCode)
+	}
+	if werr := service.DecodeWireError(resp.StatusCode, []byte(errBody)); werr.Code != service.CodeBadRequest {
+		t.Errorf("format=xml error code = %q, want %q", werr.Code, service.CodeBadRequest)
 	}
 }
 
@@ -130,8 +148,8 @@ func TestMetricsEndpointShape(t *testing.T) {
 // under -race this also proves the registry and the instrumented
 // request path are data-race free.
 func TestMetricsMonotonicUnderLoad(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{Workers: 4, QueueDepth: 1 << 16})
-	before := scrapeJSON(t, ts.URL)
+	_, c := newTestServer(t, service.ServerOptions{Workers: 4, QueueDepth: 1 << 16})
+	before := scrapeJSON(t, c.BaseURL())
 	reqBefore := metricValue(t, before, "lna_http_requests_total")
 	hitsBefore := metricValue(t, before, "lna_cache_hits_total")
 
@@ -147,7 +165,7 @@ func TestMetricsMonotonicUnderLoad(t *testing.T) {
 				return
 			default:
 			}
-			cur := metricValue(t, scrapeJSON(t, ts.URL), "lna_http_requests_total")
+			cur := metricValue(t, scrapeJSON(t, c.BaseURL()), "lna_http_requests_total")
 			if cur < last {
 				t.Errorf("lna_http_requests_total went backwards: %v -> %v", last, cur)
 				return
@@ -164,16 +182,12 @@ func TestMetricsMonotonicUnderLoad(t *testing.T) {
 				// Half the requests share one module (cache traffic),
 				// half are distinct (engine traffic).
 				mod := fmt.Sprintf("shared-%d.mc", w%2)
-				resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
-					Module: mod, Source: cleanCheckSrc,
-					Options: AnalyzeOptions{Mode: ModeCheck}})
-				if resp.StatusCode != http.StatusOK {
-					t.Errorf("analyze status = %d", resp.StatusCode)
-				}
-				if resp.Header.Get("X-Lna-Trace") == "" {
+				meta := mustAnalyze(t, c, service.AnalyzeRequest{
+					Module: mod, Source: service.CleanCheckSrc,
+					Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+				if meta.TraceID == "" {
 					t.Error("response missing X-Lna-Trace header")
 				}
-				readBody(t, resp)
 			}
 		}(w)
 	}
@@ -181,7 +195,7 @@ func TestMetricsMonotonicUnderLoad(t *testing.T) {
 	close(stop)
 	<-scraperDone
 
-	after := scrapeJSON(t, ts.URL)
+	after := scrapeJSON(t, c.BaseURL())
 	total := workers * perWorker
 	if got := metricValue(t, after, "lna_http_requests_total") - reqBefore; got != float64(total) {
 		t.Errorf("lna_http_requests_total moved by %v, want %d", got, total)
@@ -196,28 +210,23 @@ func TestMetricsMonotonicUnderLoad(t *testing.T) {
 // distinct trace ID per entry plus an index-aligned per-item cache
 // disposition header.
 func TestBatchTraceIDsUnique(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{})
+	_, c := newTestServer(t, service.ServerOptions{})
 	const n = 200
-	batch := BatchRequest{Requests: make([]AnalyzeRequest, n)}
-	for i := range batch.Requests {
-		batch.Requests[i] = AnalyzeRequest{
-			Module: fmt.Sprintf("m%03d.mc", i), Source: cleanCheckSrc,
-			Options: AnalyzeOptions{Mode: ModeCheck},
+	reqs := make([]service.AnalyzeRequest, n)
+	for i := range reqs {
+		reqs[i] = service.AnalyzeRequest{
+			Module: fmt.Sprintf("m%03d.mc", i), Source: service.CleanCheckSrc,
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck},
 		}
 	}
 	// Prime one module so the batch sees both dispositions.
-	readBody(t, postJSON(t, ts.URL+"/v1/analyze", batch.Requests[0]))
+	mustAnalyze(t, c, reqs[0])
 
-	resp := postJSON(t, ts.URL+"/v1/batch", batch)
-	dispositions := strings.Split(resp.Header.Get("X-Lna-Cache"), ",")
-	body := readBody(t, resp)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch status = %d: %s", resp.StatusCode, body)
+	out, meta, err := c.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
 	}
-	var out BatchResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		t.Fatalf("batch response: %v", err)
-	}
+	dispositions := strings.Split(meta.Cache, ",")
 	if len(out.Results) != n || len(dispositions) != n {
 		t.Fatalf("got %d results, %d header dispositions, want %d", len(out.Results), len(dispositions), n)
 	}
@@ -248,12 +257,18 @@ func TestBatchTraceIDsUnique(t *testing.T) {
 // responses stay byte-identical whether or not logging is on.
 func TestAccessLogFormats(t *testing.T) {
 	var textBuf, jsonBuf bytes.Buffer
-	req := AnalyzeRequest{Module: "logged.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck}}
+	req := service.AnalyzeRequest{Module: "logged.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}
 
-	_, textTS := newTestServer(t, ServerOptions{AccessLog: &textBuf, LogFormat: LogText})
-	coldBody := readBody(t, postJSON(t, textTS.URL+"/v1/analyze", req))
-	hitBody := readBody(t, postJSON(t, textTS.URL+"/v1/analyze", req))
+	_, textC := newTestServer(t, service.ServerOptions{AccessLog: &textBuf, LogFormat: service.LogText})
+	coldBody, _, err := textC.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitBody, _, err := textC.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(coldBody, hitBody) {
 		t.Fatal("cached response bytes differ from cold run with logging enabled")
 	}
@@ -269,10 +284,8 @@ func TestAccessLogFormats(t *testing.T) {
 		t.Errorf("hit text line missing cache=hit: %s", lines[1])
 	}
 
-	_, jsonTS := newTestServer(t, ServerOptions{AccessLog: &jsonBuf, LogFormat: LogJSON})
-	resp := postJSON(t, jsonTS.URL+"/v1/analyze", req)
-	trace := resp.Header.Get("X-Lna-Trace")
-	readBody(t, resp)
+	_, jsonC := newTestServer(t, service.ServerOptions{AccessLog: &jsonBuf, LogFormat: service.LogJSON})
+	meta := mustAnalyze(t, jsonC, req)
 	var entry struct {
 		Method string  `json:"method"`
 		Path   string  `json:"path"`
@@ -286,8 +299,8 @@ func TestAccessLogFormats(t *testing.T) {
 		t.Fatalf("json log line: %v\n%s", err, jsonBuf.String())
 	}
 	if entry.Method != "POST" || entry.Path != "/v1/analyze" || entry.Status != 200 ||
-		entry.Module != "logged.mc" || entry.Trace != trace {
-		t.Errorf("json log entry fields wrong: %+v (want trace %s)", entry, trace)
+		entry.Module != "logged.mc" || entry.Trace != meta.TraceID {
+		t.Errorf("json log entry fields wrong: %+v (want trace %s)", entry, meta.TraceID)
 	}
 }
 
@@ -296,9 +309,9 @@ func TestAccessLogFormats(t *testing.T) {
 // and the trace is exportable as Chrome JSON.
 func TestEngineTracePhases(t *testing.T) {
 	ot := obs.NewTrace("traced.mc")
-	resp := Analyze(t.Context(), &AnalyzeRequest{
-		Module: "traced.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeQual},
+	resp := service.Analyze(t.Context(), &service.AnalyzeRequest{
+		Module: "traced.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeQual},
 		Obs:     ot,
 	})
 	if resp.Failure != nil {

@@ -1,4 +1,9 @@
-package service
+// The daemon's wire-contract suite lives in package service_test and
+// drives the server exclusively through internal/client — the same
+// typed client the gateway, the CLI's remote mode, and the load
+// harness use. The tests therefore pin the contract a real remote
+// caller sees, not a hand-rolled approximation of it.
+package service_test
 
 import (
 	"bytes"
@@ -11,70 +16,83 @@ import (
 	"testing"
 	"time"
 
+	"localalias/internal/client"
 	"localalias/internal/drivergen"
+	"localalias/internal/service"
 )
 
-func newTestServer(t *testing.T, opts ServerOptions) (*Server, *httptest.Server) {
+// newTestServer boots a daemon on an httptest listener and returns it
+// with a client configured for fast retries (tests should not spend
+// wall-clock on production backoff).
+func newTestServer(t *testing.T, opts service.ServerOptions) (*service.Server, *client.Client) {
 	t.Helper()
-	s := NewServer(opts)
+	s := service.NewServer(opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return s, ts
+	c := client.New(ts.URL, client.Options{
+		Retry: client.RetryPolicy{MaxAttempts: 1},
+	})
+	return s, c
 }
 
-func postJSON(t *testing.T, url string, body any) *http.Response {
+// rawPost bypasses the typed client for requests the client cannot (by
+// design) produce: malformed JSON, wrong methods, unknown shapes.
+func rawPost(t *testing.T, url, body string) (*http.Response, []byte) {
 	t.Helper()
-	data, err := json.Marshal(body)
-	if err != nil {
-		t.Fatalf("marshal request: %v", err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST %s: %v", url, err)
 	}
-	return resp
-}
-
-func readBody(t *testing.T, resp *http.Response) []byte {
-	t.Helper()
 	defer resp.Body.Close()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatalf("read body: %v", err)
 	}
-	return buf.Bytes()
+	return resp, buf.Bytes()
+}
+
+// wantAPIError asserts err is an *client.APIError with the given
+// status and canonical code, and returns it.
+func wantAPIError(t *testing.T, err error, status int, code string) *client.APIError {
+	t.Helper()
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("error = %v (%T); want *client.APIError", err, err)
+	}
+	if apiErr.Status != status || apiErr.Err.Code != code {
+		t.Fatalf("got status %d code %q; want %d %q", apiErr.Status, apiErr.Err.Code, status, code)
+	}
+	return apiErr
 }
 
 // TestServerAnalyzeRoundTrip: a cold request misses the cache, an
 // identical resubmission hits it, and the hit's body is byte-identical
 // to the cold run's — the wire contract the cache depends on.
 func TestServerAnalyzeRoundTrip(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{})
-	req := AnalyzeRequest{Module: "clean.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck}}
+	_, c := newTestServer(t, service.ServerOptions{})
+	req := service.AnalyzeRequest{Module: "clean.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}
 
-	cold := postJSON(t, ts.URL+"/v1/analyze", req)
-	coldBody := readBody(t, cold)
-	if cold.StatusCode != http.StatusOK {
-		t.Fatalf("cold status = %d: %s", cold.StatusCode, coldBody)
+	coldBody, coldMeta, err := c.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("cold AnalyzeRaw: %v", err)
 	}
-	if got := cold.Header.Get("X-Lna-Cache"); got != "miss" {
-		t.Errorf("cold X-Lna-Cache = %q, want miss", got)
+	if coldMeta.Cache != "miss" {
+		t.Errorf("cold X-Lna-Cache = %q, want miss", coldMeta.Cache)
 	}
-	wantKey := CacheKey(&req)
-	if got := cold.Header.Get("X-Lna-Cache-Key"); got != wantKey {
-		t.Errorf("X-Lna-Cache-Key = %q, want %q", got, wantKey)
+	if want := service.CacheKey(&req); coldMeta.CacheKey != want {
+		t.Errorf("X-Lna-Cache-Key = %q, want %q", coldMeta.CacheKey, want)
 	}
-	var parsed AnalyzeResponse
+	var parsed service.AnalyzeResponse
 	if err := json.Unmarshal(coldBody, &parsed); err != nil {
 		t.Fatalf("response is not an AnalyzeResponse: %v\n%s", err, coldBody)
 	}
-	if parsed.APIVersion != APIVersion || !parsed.OK || parsed.Module != "clean.mc" {
+	if parsed.APIVersion != service.APIVersion || !parsed.OK || parsed.Module != "clean.mc" {
 		t.Errorf("parsed response = %+v", parsed)
 	}
 	// The body must equal what the engine + canonical renderer produce
 	// directly — the `lna check -json` equivalence.
-	direct, err := Analyze(context.Background(), &req).MarshalCanonical()
+	direct, err := service.Analyze(context.Background(), &req).MarshalCanonical()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +100,12 @@ func TestServerAnalyzeRoundTrip(t *testing.T) {
 		t.Errorf("served bytes differ from MarshalCanonical:\n--- served\n%s\n--- direct\n%s", coldBody, direct)
 	}
 
-	warm := postJSON(t, ts.URL+"/v1/analyze", req)
-	warmBody := readBody(t, warm)
-	if got := warm.Header.Get("X-Lna-Cache"); got != "hit" {
-		t.Errorf("warm X-Lna-Cache = %q, want hit", got)
+	warmBody, warmMeta, err := c.AnalyzeRaw(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("warm AnalyzeRaw: %v", err)
+	}
+	if warmMeta.Cache != "hit" {
+		t.Errorf("warm X-Lna-Cache = %q, want hit", warmMeta.Cache)
 	}
 	if !bytes.Equal(coldBody, warmBody) {
 		t.Error("cache hit served different bytes than the cold run")
@@ -93,65 +113,122 @@ func TestServerAnalyzeRoundTrip(t *testing.T) {
 }
 
 // TestServerValidation: malformed submissions are refused before they
-// cost a worker slot.
+// cost a worker slot, each with its canonical error code.
 func TestServerValidation(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{})
+	_, c := newTestServer(t, service.ServerOptions{})
 	cases := []struct {
 		name string
-		req  AnalyzeRequest
+		req  service.AnalyzeRequest
+		code string
 	}{
-		{"empty source", AnalyzeRequest{Module: "m.mc", Options: AnalyzeOptions{Mode: ModeCheck}}},
-		{"bad mode", AnalyzeRequest{Module: "m.mc", Source: "fun f() {}", Options: AnalyzeOptions{Mode: "optimize"}}},
+		{"empty source", service.AnalyzeRequest{Module: "m.mc",
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}}, service.CodeBadRequest},
+		{"bad mode", service.AnalyzeRequest{Module: "m.mc", Source: "fun f() {}",
+			Options: service.AnalyzeOptions{Mode: "optimize"}}, service.CodeBadRequest},
+		{"future api version", service.AnalyzeRequest{APIVersion: "v99", Module: "m.mc",
+			Source: "fun f() {}", Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+			service.CodeUnsupportedVersion},
 	}
 	for _, tc := range cases {
-		resp := postJSON(t, ts.URL+"/v1/analyze", tc.req)
-		readBody(t, resp)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		_, _, err := c.Analyze(context.Background(), &tc.req)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		apiErr := wantAPIError(t, err, http.StatusBadRequest, tc.code)
+		if apiErr.ExitCode() != service.ExitUsage {
+			t.Errorf("%s: exit code %d, want %d", tc.name, apiErr.ExitCode(), service.ExitUsage)
 		}
 	}
-	get, err := http.Get(ts.URL + "/v1/analyze")
+	get, err := http.Get(c.BaseURL() + "/v1/analyze")
 	if err != nil {
 		t.Fatal(err)
 	}
-	readBody(t, get)
+	body := make([]byte, 512)
+	n, _ := get.Body.Read(body)
+	get.Body.Close()
 	if get.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/analyze status = %d, want 405", get.StatusCode)
 	}
+	if werr := service.DecodeWireError(get.StatusCode, body[:n]); werr.Code != service.CodeMethodNotAllowed {
+		t.Errorf("GET error code = %q, want %q", werr.Code, service.CodeMethodNotAllowed)
+	}
 }
 
-func corpusBatch(n int) BatchRequest {
-	var batch BatchRequest
+// TestServerErrorBodyShape: every refusal path answers the one
+// canonical {"error": {"code", "message"}} shape — no ad-hoc strings.
+func TestServerErrorBodyShape(t *testing.T) {
+	s, c := newTestServer(t, service.ServerOptions{})
+	url := c.BaseURL()
+	checks := []struct {
+		name   string
+		do     func() (*http.Response, []byte)
+		status int
+		code   string
+	}{
+		{"malformed json", func() (*http.Response, []byte) {
+			return rawPost(t, url+"/v1/analyze", "{not json")
+		}, http.StatusBadRequest, service.CodeBadRequest},
+		{"draining", func() (*http.Response, []byte) {
+			s.SetDraining(true)
+			defer s.SetDraining(false)
+			return rawPost(t, url+"/v1/analyze", "{}")
+		}, http.StatusServiceUnavailable, service.CodeDraining},
+		{"empty batch", func() (*http.Response, []byte) {
+			return rawPost(t, url+"/v1/batch", `{"requests":[]}`)
+		}, http.StatusBadRequest, service.CodeBadRequest},
+	}
+	for _, tc := range checks {
+		resp, body := tc.do()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		var eb service.ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil {
+			t.Errorf("%s: body is not the canonical error shape: %s", tc.name, body)
+			continue
+		}
+		if eb.Error.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, eb.Error.Code, tc.code)
+		}
+		if eb.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+		if want := service.StatusForCode(eb.Error.Code); want != resp.StatusCode {
+			t.Errorf("%s: status %d disagrees with the code table's %d", tc.name, resp.StatusCode, want)
+		}
+	}
+}
+
+func corpusBatch(n int) []service.AnalyzeRequest {
+	reqs := make([]service.AnalyzeRequest, 0, n)
 	for _, spec := range drivergen.Corpus()[:n] {
-		batch.Requests = append(batch.Requests, AnalyzeRequest{
+		reqs = append(reqs, service.AnalyzeRequest{
 			Module: spec.Name + ".mc",
 			Source: spec.Source(),
 		})
 	}
-	return batch
+	return reqs
 }
 
 // TestServerBatchCacheHitRate: submitting the same 20-module batch
 // twice serves the second pass almost entirely from cache (the CI
 // smoke criterion is >= 90%; identical submissions should hit 100%).
 func TestServerBatchCacheHitRate(t *testing.T) {
-	s, ts := newTestServer(t, ServerOptions{Workers: 4})
-	batch := corpusBatch(20)
+	s, c := newTestServer(t, service.ServerOptions{Workers: 4})
+	reqs := corpusBatch(20)
 
-	var first, second BatchResponse
+	var passes [2]*service.BatchResponse
 	// The passes must run in order (a map range would randomize them,
 	// making the hit-rate assertions flaky).
-	for i, out := range []*BatchResponse{&first, &second} {
-		pass := i + 1
-		resp := postJSON(t, ts.URL+"/v1/batch", batch)
-		body := readBody(t, resp)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("pass %d status = %d: %s", pass, resp.StatusCode, body)
+	for i := range passes {
+		out, _, err := c.Batch(context.Background(), reqs)
+		if err != nil {
+			t.Fatalf("pass %d: %v", i+1, err)
 		}
-		if err := json.Unmarshal(body, out); err != nil {
-			t.Fatalf("pass %d: %v", pass, err)
-		}
+		passes[i] = out
 	}
+	first, second := passes[0], passes[1]
 	if first.Summary.Modules != 20 || first.Summary.CacheMisses != 20 || first.Summary.Failures != 0 {
 		t.Errorf("first pass summary = %+v; want 20 modules, all misses, no failures", first.Summary)
 	}
@@ -178,15 +255,10 @@ func TestServerLargeBatch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("200-module batch in -short mode")
 	}
-	_, ts := newTestServer(t, ServerOptions{})
-	resp := postJSON(t, ts.URL+"/v1/batch", corpusBatch(200))
-	body := readBody(t, resp)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d: %s", resp.StatusCode, body)
-	}
-	var out BatchResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		t.Fatal(err)
+	_, c := newTestServer(t, service.ServerOptions{})
+	out, _, err := c.Batch(context.Background(), corpusBatch(200))
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
 	}
 	if out.Summary.Modules != 200 || len(out.Results) != 200 {
 		t.Fatalf("summary = %+v, %d results; want 200", out.Summary, len(out.Results))
@@ -210,33 +282,27 @@ func TestServerLargeBatch(t *testing.T) {
 // its own entry — the batch still answers 200 with a failure record in
 // that slot, and the panicking module is never cached.
 func TestServerBatchPanicIsolation(t *testing.T) {
-	testAnalyzeHook = func(ctx context.Context, module string) {
+	service.SetTestAnalyzeHook(func(ctx context.Context, module string) {
 		if module == "bomb.mc" {
 			panic("injected server fault")
 		}
-	}
-	defer func() { testAnalyzeHook = nil }()
-
-	s, ts := newTestServer(t, ServerOptions{Workers: 2})
-	batch := corpusBatch(2)
-	batch.Requests = append(batch.Requests, AnalyzeRequest{
-		Module: "bomb.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck},
 	})
-	resp := postJSON(t, ts.URL+"/v1/batch", batch)
-	body := readBody(t, resp)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch with a panicking module: status = %d: %s", resp.StatusCode, body)
-	}
-	var out BatchResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		t.Fatal(err)
+	defer service.SetTestAnalyzeHook(nil)
+
+	_, c := newTestServer(t, service.ServerOptions{Workers: 2})
+	reqs := append(corpusBatch(2), service.AnalyzeRequest{
+		Module: "bomb.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck},
+	})
+	out, _, err := c.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("batch with a panicking module: %v", err)
 	}
 	if out.Summary.Failures != 1 {
 		t.Errorf("summary failures = %d, want 1", out.Summary.Failures)
 	}
 	for i, entry := range out.Results {
-		var r AnalyzeResponse
+		var r service.AnalyzeResponse
 		if err := json.Unmarshal(entry.Response, &r); err != nil {
 			t.Fatalf("entry %d: %v", i, err)
 		}
@@ -248,42 +314,91 @@ func TestServerBatchPanicIsolation(t *testing.T) {
 			t.Errorf("healthy module %s degraded by its neighbour: %v", r.Module, r.Failure)
 		}
 	}
-	if s.failures.Load() != 1 {
-		t.Errorf("failure counter = %d, want 1", s.failures.Load())
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failures != 1 {
+		t.Errorf("failure counter = %d, want 1", st.Failures)
 	}
 	// Failed responses are never cached: resubmitting the module (with
 	// the hook gone) re-runs it and succeeds.
-	testAnalyzeHook = nil
-	again := postJSON(t, ts.URL+"/v1/analyze", batch.Requests[2])
-	againBody := readBody(t, again)
-	if got := again.Header.Get("X-Lna-Cache"); got != "miss" {
-		t.Errorf("resubmitted failed module X-Lna-Cache = %q, want miss", got)
+	service.SetTestAnalyzeHook(nil)
+	resp, meta, err := c.Analyze(context.Background(), &reqs[2])
+	if err != nil {
+		t.Fatalf("resubmission: %v", err)
 	}
-	var r AnalyzeResponse
-	if err := json.Unmarshal(againBody, &r); err != nil {
-		t.Fatal(err)
+	if meta.Cache != "miss" {
+		t.Errorf("resubmitted failed module X-Lna-Cache = %q, want miss", meta.Cache)
 	}
-	if r.Failure != nil || !r.OK {
-		t.Errorf("resubmission after the fault cleared = %+v", r)
+	if resp.Failure != nil || !resp.OK {
+		t.Errorf("resubmission after the fault cleared = %+v", resp)
 	}
 }
 
-// TestServerBatchLimits: empty and oversized batches are rejected.
+// TestServerBatchLimits: empty and oversized batches are rejected with
+// the canonical bad_request error.
 func TestServerBatchLimits(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{})
+	_, c := newTestServer(t, service.ServerOptions{})
 	for _, tc := range []struct {
 		name string
 		n    int
-	}{{"empty", 0}, {"oversized", MaxBatch + 1}} {
-		batch := BatchRequest{Requests: make([]AnalyzeRequest, tc.n)}
-		for i := range batch.Requests {
-			batch.Requests[i] = AnalyzeRequest{Module: fmt.Sprintf("m%d.mc", i), Source: "fun f() {}"}
+	}{{"empty", 0}, {"oversized", service.MaxBatch + 1}} {
+		reqs := make([]service.AnalyzeRequest, tc.n)
+		for i := range reqs {
+			reqs[i] = service.AnalyzeRequest{Module: fmt.Sprintf("m%d.mc", i), Source: "fun f() {}"}
 		}
-		resp := postJSON(t, ts.URL+"/v1/batch", batch)
-		readBody(t, resp)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s batch: status = %d, want 400", tc.name, resp.StatusCode)
+		_, _, err := c.Batch(context.Background(), reqs)
+		if err == nil {
+			t.Errorf("%s batch accepted", tc.name)
+			continue
 		}
+		wantAPIError(t, err, http.StatusBadRequest, service.CodeBadRequest)
+	}
+}
+
+// TestServerBatchPerEntryAdmission: a batch mixing healthy and
+// inadmissible modules answers 200 with per-entry errors in the bad
+// slots — the batch never fails whole for one bad request.
+func TestServerBatchPerEntryAdmission(t *testing.T) {
+	_, c := newTestServer(t, service.ServerOptions{Workers: 2})
+	reqs := []service.AnalyzeRequest{
+		{Module: "ok1.mc", Source: service.CleanCheckSrc, Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+		{Module: "no-source.mc", Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+		{Module: "bad-mode.mc", Source: service.CleanCheckSrc, Options: service.AnalyzeOptions{Mode: "optimize"}},
+		{Module: "old-client.mc", Source: service.CleanCheckSrc, APIVersion: "v0",
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}},
+		{Module: "ok2.mc", Source: service.CleanCheckSrc, Options: service.AnalyzeOptions{Mode: service.ModeInfer}},
+	}
+	out, meta, err := c.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	wantCodes := []string{"", service.CodeBadRequest, service.CodeBadRequest, service.CodeUnsupportedVersion, ""}
+	for i, want := range wantCodes {
+		got := out.Results[i]
+		switch {
+		case want == "":
+			if got.Error != nil {
+				t.Errorf("entry %d: unexpected error %v", i, got.Error)
+			}
+			if len(got.Response) == 0 {
+				t.Errorf("entry %d: healthy module got no response", i)
+			}
+		default:
+			if got.Error == nil || got.Error.Code != want {
+				t.Errorf("entry %d: error = %+v, want code %q", i, got.Error, want)
+			}
+			if len(got.Response) != 0 {
+				t.Errorf("entry %d: rejected module carries a response", i)
+			}
+		}
+	}
+	if out.Summary.Rejected != 3 || out.Summary.CacheMisses != 2 {
+		t.Errorf("summary = %+v; want rejected=3 misses=2", out.Summary)
+	}
+	if meta.Cache != "miss,error,error,error,miss" {
+		t.Errorf("X-Lna-Cache = %q; want index-aligned dispositions", meta.Cache)
 	}
 }
 
@@ -293,22 +408,21 @@ func TestServerBatchLimits(t *testing.T) {
 func TestServerBackpressure(t *testing.T) {
 	block := make(chan struct{})
 	entered := make(chan struct{}, 1)
-	testAnalyzeHook = func(ctx context.Context, module string) {
+	service.SetTestAnalyzeHook(func(ctx context.Context, module string) {
 		if module == "slow.mc" {
 			entered <- struct{}{}
 			<-block
 		}
-	}
-	defer func() { testAnalyzeHook = nil; close(block) }()
+	})
+	defer func() { service.SetTestAnalyzeHook(nil); close(block) }()
 
-	s, ts := newTestServer(t, ServerOptions{Workers: 1, QueueDepth: 1})
+	_, c := newTestServer(t, service.ServerOptions{Workers: 1, QueueDepth: 1})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
-			Module: "slow.mc", Source: cleanCheckSrc,
-			Options: AnalyzeOptions{Mode: ModeCheck}})
-		readBody(t, resp)
+		_, _, _ = c.Analyze(context.Background(), &service.AnalyzeRequest{
+			Module: "slow.mc", Source: service.CleanCheckSrc,
+			Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
 	}()
 	select {
 	case <-entered:
@@ -316,62 +430,68 @@ func TestServerBackpressure(t *testing.T) {
 		t.Fatal("first request never reached the analysis hook")
 	}
 
-	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
-		Module: "fast.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck}})
-	body := readBody(t, resp)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("second request status = %d, want 429: %s", resp.StatusCode, body)
+	// The raw round trip exposes the refusal headers the retrying
+	// client would otherwise consume.
+	body, _ := json.Marshal(service.AnalyzeRequest{
+		Module: "fast.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	res, err := c.RoundTrip(context.Background(), "/v1/analyze", body)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if res.Status != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429: %s", res.Status, res.Body)
+	}
+	if res.Header.Get("Retry-After") == "" {
 		t.Error("429 lacks a Retry-After header")
 	}
-	if s.rejected.Load() == 0 {
-		t.Error("rejected counter not incremented")
+	if werr := res.WireError(); werr.Code != service.CodeQueueFull {
+		t.Errorf("429 code = %q, want %q", werr.Code, service.CodeQueueFull)
 	}
 	block <- struct{}{}
 	<-done
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 {
+		t.Error("rejected counter not incremented")
+	}
 }
 
 // TestServerDraining: once draining, new submissions get 503 while
 // health reports the state.
 func TestServerDraining(t *testing.T) {
-	s, ts := newTestServer(t, ServerOptions{})
-	s.draining.Store(true)
-	resp := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
-		Module: "m.mc", Source: cleanCheckSrc, Options: AnalyzeOptions{Mode: ModeCheck}})
-	readBody(t, resp)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("analyze while draining: status = %d, want 503", resp.StatusCode)
-	}
-	batch := postJSON(t, ts.URL+"/v1/batch", corpusBatch(1))
-	readBody(t, batch)
-	if batch.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("batch while draining: status = %d, want 503", batch.StatusCode)
-	}
-	health, err := http.Get(ts.URL + "/v1/health")
+	s, c := newTestServer(t, service.ServerOptions{})
+	s.SetDraining(true)
+	_, _, err := c.Analyze(context.Background(), &service.AnalyzeRequest{
+		Module: "m.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	wantAPIError(t, err, http.StatusServiceUnavailable, service.CodeDraining)
+	_, _, err = c.Batch(context.Background(), corpusBatch(1))
+	wantAPIError(t, err, http.StatusServiceUnavailable, service.CodeDraining)
+	hs, err := c.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(readBody(t, health)), "draining") {
-		t.Error("health does not report the draining state")
+	if hs.Status != "draining" {
+		t.Errorf("health status = %q, want draining", hs.Status)
 	}
 }
 
 // TestServerStatsEndpoint: the stats snapshot reflects served traffic.
 func TestServerStatsEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, ServerOptions{Workers: 2, CacheEntries: 8})
-	req := AnalyzeRequest{Module: "m.mc", Source: cleanCheckSrc,
-		Options: AnalyzeOptions{Mode: ModeCheck}}
+	_, c := newTestServer(t, service.ServerOptions{Workers: 2, CacheEntries: 8})
+	req := service.AnalyzeRequest{Module: "m.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}}
 	for i := 0; i < 2; i++ {
-		readBody(t, postJSON(t, ts.URL+"/v1/analyze", req))
+		if _, _, err := c.AnalyzeRaw(context.Background(), &req); err != nil {
+			t.Fatal(err)
+		}
 	}
-	resp, err := http.Get(ts.URL + "/v1/stats")
+	st, err := c.Stats(context.Background())
 	if err != nil {
-		t.Fatal(err)
-	}
-	var st ServerStats
-	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Workers != 2 || st.Requests != 2 || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
@@ -382,7 +502,7 @@ func TestServerStatsEndpoint(t *testing.T) {
 // TestListenAndServeGracefulDrain: the daemon binds a free port,
 // serves, and drains cleanly when its context is cancelled.
 func TestListenAndServeGracefulDrain(t *testing.T) {
-	s := NewServer(ServerOptions{Workers: 2})
+	s := service.NewServer(service.ServerOptions{Workers: 2})
 	ctx, cancel := context.WithCancel(context.Background())
 	addrCh := make(chan string, 1)
 	errCh := make(chan error, 1)
@@ -395,11 +515,15 @@ func TestListenAndServeGracefulDrain(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("server never became ready")
 	}
-	resp := postJSON(t, "http://"+addr+"/v1/analyze", AnalyzeRequest{
-		Module: "m.mc", Source: cleanCheckSrc, Options: AnalyzeOptions{Mode: ModeCheck}})
-	readBody(t, resp)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("analyze before drain: status = %d", resp.StatusCode)
+	c := client.New("http://"+addr, client.Options{Retry: client.RetryPolicy{MaxAttempts: 1}})
+	resp, _, err := c.Analyze(ctx, &service.AnalyzeRequest{
+		Module: "m.mc", Source: service.CleanCheckSrc,
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck}})
+	if err != nil {
+		t.Fatalf("analyze before drain: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("analyze before drain not OK: %+v", resp)
 	}
 	cancel()
 	select {

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// The canonical error contract: every non-2xx answer from a /v1/*
+// endpoint — daemon and gateway alike — carries the same JSON body,
+//
+//	{"error": {"code": "<symbolic code>", "message": "<human text>"}}
+//
+// so clients branch on a stable code instead of parsing prose, and the
+// message stays free to improve. The code also determines the HTTP
+// status the server sends and the exit code a CLI front end should
+// adopt when it relays the error: all three mappings live in the one
+// errorClasses table below, so adding an error condition is one row,
+// not three scattered switch arms.
+
+// The symbolic error codes of the v1 wire contract (docs/API.md).
+const (
+	// CodeBadRequest: the request body is malformed, names an unknown
+	// analysis mode, or carries no source.
+	CodeBadRequest = "bad_request"
+	// CodeUnsupportedVersion: the request's api_version names a
+	// contract this server does not speak.
+	CodeUnsupportedVersion = "unsupported_api_version"
+	// CodeMethodNotAllowed: the endpoint wants a different HTTP method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQueueFull: admission control refused the request; retry
+	// after the Retry-After interval.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down gracefully and accepts
+	// no new work.
+	CodeDraining = "draining"
+	// CodeBackendUnavailable: a gateway found no healthy backend to
+	// own the request (every replica down or draining).
+	CodeBackendUnavailable = "backend_unavailable"
+	// CodeInternal: the server failed to produce a response (encoding
+	// error or an unclassified fault) — not a statement about the
+	// module under analysis, which degrades via the in-band Failure
+	// record instead.
+	CodeInternal = "internal"
+)
+
+// errorClass is one row of the contract table: the HTTP status a code
+// is served with, and the process exit code a CLI adopting the error
+// should use (the shared Exit* policy).
+type errorClass struct {
+	Status int
+	Exit   int
+}
+
+// errorClasses is the single source of truth mapping error codes to
+// HTTP statuses and Exit* codes.
+var errorClasses = map[string]errorClass{
+	CodeBadRequest:         {http.StatusBadRequest, ExitUsage},
+	CodeUnsupportedVersion: {http.StatusBadRequest, ExitUsage},
+	CodeMethodNotAllowed:   {http.StatusMethodNotAllowed, ExitUsage},
+	CodeQueueFull:          {http.StatusTooManyRequests, ExitDegraded},
+	CodeDraining:           {http.StatusServiceUnavailable, ExitDegraded},
+	CodeBackendUnavailable: {http.StatusServiceUnavailable, ExitDegraded},
+	CodeInternal:           {http.StatusInternalServerError, ExitDegraded},
+}
+
+// WireError is the inner object of the canonical error body. It
+// implements error, so client layers can return it directly.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error renders "code: message".
+func (e *WireError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ExitCode maps the error to the shared exit-code policy via the
+// contract table (ExitDegraded for codes this build does not know —
+// a newer server refused us for a reason we cannot classify).
+func (e *WireError) ExitCode() int { return ExitForCode(e.Code) }
+
+// ErrorBody is the canonical JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error *WireError `json:"error"`
+}
+
+// StatusForCode returns the HTTP status an error code is served with
+// (500 for unknown codes — an unclassified failure).
+func StatusForCode(code string) int {
+	if c, ok := errorClasses[code]; ok {
+		return c.Status
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitForCode returns the shared Exit* code a CLI should adopt when it
+// relays a wire error (ExitDegraded for unknown codes).
+func ExitForCode(code string) int {
+	if c, ok := errorClasses[code]; ok {
+		return c.Exit
+	}
+	return ExitDegraded
+}
+
+// WriteWireError writes the canonical error body for code, with the
+// status the contract table assigns it.
+func WriteWireError(w http.ResponseWriter, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(StatusForCode(code))
+	_ = json.NewEncoder(w).Encode(ErrorBody{
+		Error: &WireError{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// DecodeWireError recovers the WireError from a non-2xx response body.
+// Bodies that do not parse as the canonical envelope (a proxy's HTML
+// error page, a truncated read) degrade to a WireError synthesized
+// from the HTTP status, so callers always get a code to branch on.
+func DecodeWireError(status int, body []byte) *WireError {
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != nil && eb.Error.Code != "" {
+		return eb.Error
+	}
+	code := CodeInternal
+	switch status {
+	case http.StatusBadRequest:
+		code = CodeBadRequest
+	case http.StatusMethodNotAllowed:
+		code = CodeMethodNotAllowed
+	case http.StatusTooManyRequests:
+		code = CodeQueueFull
+	case http.StatusServiceUnavailable:
+		code = CodeBackendUnavailable
+	}
+	msg := string(body)
+	if len(msg) > 200 {
+		msg = msg[:200] + "..."
+	}
+	return &WireError{Code: code, Message: fmt.Sprintf("HTTP %d: %s", status, msg)}
+}
