@@ -13,6 +13,9 @@
 //	                          # observability-overhead benchmarks
 //	experiments -bench-gateway-json FILE
 //	                          # gateway open-loop load benchmarks
+//	experiments -xmodule      # cross-module precision table (havoc vs summaries)
+//	experiments -bench-xmodule-json FILE
+//	                          # cross-module DAG scheduler + summary-cache benchmarks
 //
 // Fault-containment flags:
 //
@@ -69,6 +72,8 @@ func main() {
 		benchParJSON  = flag.String("bench-parallel-json", "", "run the parallel-solver benchmarks (sequential unpooled vs pooled partitioned, interleaved, at GOMAXPROCS 1/2/4), write the report as JSON to this file (- for stdout), and exit")
 		benchIncJSON  = flag.String("bench-incremental-json", "", "run the incremental re-analysis benchmarks (from-scratch vs resident cache+memo after a one-function edit, interleaved), write the report as JSON to this file (- for stdout), and exit")
 		benchGwJSON   = flag.String("bench-gateway-json", "", "run the gateway open-loop load benchmarks (1-replica vs 2-replica stacks, interleaved), write the report as JSON to this file (- for stdout), and exit")
+		benchXmodJSON = flag.String("bench-xmodule-json", "", "run the cross-module DAG benchmarks (sequential vs parallel scheduler, cold vs warm summary cache, interleaved), write the report as JSON to this file (- for stdout), and exit")
+		xmodule       = flag.Bool("xmodule", false, "print the cross-module precision table (per-module havoc vs package summaries) and exit")
 		phases        = flag.Bool("phases", false, "also print the per-phase p50/p95/max timing table with the summary")
 		quiet         = flag.Bool("q", false, "suppress progress output")
 		moduleTimeout = flag.Duration("module-timeout", 2*time.Minute, "per-module analysis deadline (0 disables it)")
@@ -191,6 +196,42 @@ func main() {
 			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchGwJSON)
+		}
+		return
+	}
+
+	if *benchXmodJSON != "" {
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+			fmt.Fprintln(progress, "running cross-module DAG benchmarks (interleaved before/after pairs; this takes a minute)...")
+		}
+		data, err := experiments.RunXmoduleBenchJSON(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *benchXmodJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchXmodJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchXmodJSON)
+		}
+		return
+	}
+
+	if *xmodule {
+		xres := experiments.RunXmoduleCorpus()
+		fmt.Println(xres.Table())
+		if len(xres.Failures) > 0 {
+			fmt.Fprintf(os.Stderr, "modules failed to analyze: %v\n", xres.Failures)
+			os.Exit(exitDegraded)
+		}
+		if xres.Mismatches > 0 || !xres.SummaryWinsEveryColumn() {
+			os.Exit(exitMismatch)
 		}
 		return
 	}

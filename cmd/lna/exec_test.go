@@ -374,6 +374,79 @@ func TestGatewaySmoke(t *testing.T) {
 	}
 }
 
+// TestCrossModuleCLI: the -lib flag drives the whole-program pass from
+// the command line, and the two cross-module failure classes — missing
+// package and import cycle — get the uniform "import error" stderr
+// text and the shared exit-code table's findings code (1). A -lib
+// outside confine/qual is a usage error (2).
+func TestCrossModuleCLI(t *testing.T) {
+	bins := binaries(t)
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// A real multi-module stack: the leaf driver plus its three
+	// libraries, each library file named after its import name.
+	mods := drivergen.XStack(1)
+	var libArgs []string
+	var leafFile string
+	for _, m := range mods {
+		path := write(m.Name+".mc", m.Source)
+		if m.Name == mods[len(mods)-1].Name {
+			leafFile = path
+		} else {
+			libArgs = append(libArgs, "-lib", path)
+		}
+	}
+	args := append([]string{"qual"}, append(libArgs, leafFile)...)
+	stdout, stderr, code := run(t, bins["lna"], args...)
+	if code != service.ExitFindings {
+		t.Fatalf("qual with libraries exit %d, want %d\nstderr: %s", code, service.ExitFindings, stderr)
+	}
+	// The leaf's summary-mode findings include the cross-module bug at
+	// the imported call site (xdrv00 carries the split double-acquire).
+	if !strings.Contains(stdout, "xio.pulse") {
+		t.Errorf("report does not attribute the cross-module bug to the call site:\n%s", stdout)
+	}
+
+	// Missing package: uniform text, findings exit code.
+	app := write("app.mc", "import \"ghost\";\nfun f() { work(); }\n")
+	_, stderr, code = run(t, bins["lna"], "qual", app)
+	if code != service.ExitFindings {
+		t.Errorf("missing package exit %d, want %d", code, service.ExitFindings)
+	}
+	if !strings.Contains(stderr, "lna: import error at ") ||
+		!strings.Contains(stderr, "app.mc:1:") ||
+		!strings.Contains(stderr, `cannot resolve import "ghost"`) {
+		t.Errorf("missing uniform import-error line for a missing package:\n%s", stderr)
+	}
+
+	// Import cycle between two libraries: same uniform text, same code.
+	cycA := write("cyca.mc", "import \"cycb\";\nfun fa() { cycb.fb(); }\n")
+	cycB := write("cycb.mc", "import \"cyca\";\nfun fb() { cyca.fa(); }\n")
+	top := write("top.mc", "import \"cyca\";\nfun main(): int { return 0; }\n")
+	_, stderr, code = run(t, bins["lna"], "qual", "-lib", cycA, "-lib", cycB, top)
+	if code != service.ExitFindings {
+		t.Errorf("import cycle exit %d, want %d", code, service.ExitFindings)
+	}
+	if !strings.Contains(stderr, "lna: import error at ") ||
+		!strings.Contains(stderr, "import cycle: ") {
+		t.Errorf("missing uniform import-error line for a cycle:\n%s", stderr)
+	}
+
+	// -lib outside confine/qual is rejected before any analysis runs.
+	if _, stderr, code := run(t, bins["lna"], "check", "-lib", cycA, top); code != service.ExitUsage ||
+		!strings.Contains(stderr, "-lib is only supported") {
+		t.Errorf("check -lib exit %d (stderr %q), want usage error", code, stderr)
+	}
+}
+
 // TestRemoteExitCodes: the -remote path maps wire errors onto the same
 // exit-code table as local runs.
 func TestRemoteExitCodes(t *testing.T) {

@@ -31,6 +31,12 @@
 //	-remote URL  send the request to a running daemon or gateway
 //	           instead of analyzing in-process; with -json the server's
 //	           response bytes are relayed verbatim
+//	-lib FILE  library module for cross-module analysis (repeatable;
+//	           confine/qual only). The module's import name is the
+//	           file's base name without extension, so `-lib dir/xio.mc`
+//	           satisfies `import "xio"`. A missing package or an import
+//	           cycle is a finding (exit 1), reported with the uniform
+//	           "import error" text on stderr
 //
 // Gateway flags:
 //
@@ -82,6 +88,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -146,10 +153,17 @@ func splitCommand(args []string) (cmd string, rest []string, err error) {
 	return "", nil, fmt.Errorf("no subcommand given")
 }
 
+// libList collects the repeatable -lib flag.
+type libList []string
+
+func (l *libList) String() string     { return strings.Join(*l, ",") }
+func (l *libList) Set(v string) error { *l = append(*l, v); return nil }
+
 // options carries the parsed flags into the subcommand bodies.
 type options struct {
 	params, general, liberal, asJSON bool
 	traceOut                         string
+	libs                             libList
 
 	addr           string
 	workers        int
@@ -199,6 +213,7 @@ func main() {
 	fs.BoolVar(&opt.liberal, "liberal", false, "check with the liberal §5 restrict-effect semantics")
 	fs.BoolVar(&opt.asJSON, "json", false, "emit the canonical AnalyzeResponse as JSON")
 	fs.StringVar(&opt.traceOut, "trace-out", "", "write a Chrome trace_event JSON file of the request's phase spans")
+	fs.Var(&opt.libs, "lib", "library module file for cross-module analysis (repeatable; confine/qual only; import name = base name without extension)")
 	fs.StringVar(&opt.addr, "addr", "127.0.0.1:8347", "serve: listen address (port 0 picks a free port)")
 	fs.IntVar(&opt.workers, "workers", 0, "serve: analysis pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&opt.solverWorkers, "solver-workers", 1, "serve: constraint-solver goroutines per module (<=1 = sequential; results identical)")
@@ -255,6 +270,11 @@ func main() {
 		fatal(err)
 	}
 
+	if len(opt.libs) > 0 && cmd != "confine" && cmd != "qual" {
+		fmt.Fprintf(os.Stderr, "lna: -lib is only supported with confine and qual (got %s)\n", cmd)
+		os.Exit(service.ExitUsage)
+	}
+
 	if analysisModes[cmd] {
 		if opt.remote != "" {
 			os.Exit(runRemoteAnalysis(cmd, file, string(src), opt))
@@ -262,6 +282,45 @@ func main() {
 		os.Exit(runAnalysis(cmd, file, string(src), opt))
 	}
 	os.Exit(runLocal(cmd, file, string(src), args))
+}
+
+// loadLibraries reads every -lib file into a LibrarySource. The import
+// name a library satisfies is its base name without extension, so a
+// module can say `import "xio"` and the user can say `-lib dir/xio.mc`.
+func loadLibraries(libs []string) ([]service.LibrarySource, error) {
+	out := make([]service.LibrarySource, 0, len(libs))
+	for _, path := range libs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(path)
+		name := strings.TrimSuffix(base, filepath.Ext(base))
+		out = append(out, service.LibrarySource{Name: name, Source: string(src)})
+	}
+	return out, nil
+}
+
+// reportImportErrors prints the uniform cross-module error lines on
+// stderr: one "import error" line per missing package or import
+// cycle, so scripts can grep one prefix regardless of which of the
+// two failures occurred. The diagnostics themselves (and the exit
+// code — these are findings, exit 1) are unchanged.
+func reportImportErrors(resp *service.AnalyzeResponse) {
+	for _, d := range resp.Diagnostics.Diags {
+		if d.Severity != "error" {
+			continue
+		}
+		if strings.HasPrefix(d.Message, "cannot resolve import") ||
+			strings.HasPrefix(d.Message, "import cycle") ||
+			strings.Contains(d.Message, "duplicate module name") {
+			pos := d.Pos
+			if pos == "" {
+				pos = resp.Module
+			}
+			fmt.Fprintf(os.Stderr, "lna: import error at %s: %s\n", pos, d.Message)
+		}
+	}
 }
 
 // runAnalysis drives check/infer/confine/qual through the shared
@@ -278,6 +337,14 @@ func runAnalysis(cmd, file, src string, opt options) int {
 			Params:  opt.params,
 			Liberal: opt.liberal,
 		},
+	}
+	if len(opt.libs) > 0 {
+		libs, err := loadLibraries(opt.libs)
+		if err != nil {
+			fatal(err)
+		}
+		req.Options.MultiModule = true
+		req.Options.Libraries = libs
 	}
 	if opt.traceOut != "" {
 		req.Obs = obs.NewTrace(file)
@@ -321,6 +388,7 @@ func renderResponse(cmd string, resp *service.AnalyzeResponse) {
 	if resp.Raw != nil {
 		fmt.Print(resp.Raw.RenderAll())
 	}
+	reportImportErrors(resp)
 	switch {
 	case resp.Failure != nil:
 		f := resp.Failure

@@ -40,6 +40,15 @@ func runRemoteAnalysis(cmd, file, src string, opt options) int {
 			Liberal: opt.liberal,
 		},
 	}
+	if len(opt.libs) > 0 {
+		libs, err := loadLibraries(opt.libs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lna:", err)
+			return service.ExitUsage
+		}
+		req.Options.MultiModule = true
+		req.Options.Libraries = libs
+	}
 	c := remoteClient(opt.remote)
 	raw, _, err := c.AnalyzeRaw(context.Background(), req)
 	if err != nil {

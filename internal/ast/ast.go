@@ -327,6 +327,15 @@ type Field struct {
 	Sp   source.Span
 }
 
+// ImportDecl declares a dependency on another module: `import "pkg";`.
+// Exported functions of the imported module are callable as
+// pkg.fn(args); resolution happens against separately-parsed modules
+// (see types.CheckWith and internal/modgraph).
+type ImportDecl struct {
+	Path string
+	Sp   source.Span
+}
+
 // StructDecl declares a record type.
 type StructDecl struct {
 	Name   string
@@ -363,6 +372,7 @@ type FunDecl struct {
 	Sp     source.Span
 }
 
+func (d *ImportDecl) Span() source.Span { return d.Sp }
 func (d *StructDecl) Span() source.Span { return d.Sp }
 func (d *GlobalDecl) Span() source.Span { return d.Sp }
 func (d *FunDecl) Span() source.Span    { return d.Sp }
@@ -375,6 +385,7 @@ type Decl interface {
 	decl()
 }
 
+func (*ImportDecl) decl() {}
 func (*StructDecl) decl() {}
 func (*GlobalDecl) decl() {}
 func (*FunDecl) decl()    {}
@@ -383,6 +394,7 @@ func (*FunDecl) decl()    {}
 // experiment's terminology).
 type Program struct {
 	File    *source.File
+	Imports []*ImportDecl
 	Structs []*StructDecl
 	Globals []*GlobalDecl
 	Funs    []*FunDecl
@@ -424,4 +436,27 @@ func (p *Program) Global(name string) *GlobalDecl {
 		}
 	}
 	return nil
+}
+
+// Import returns the import declaration for path, or nil.
+func (p *Program) Import(path string) *ImportDecl {
+	for _, im := range p.Imports {
+		if im.Path == path {
+			return im
+		}
+	}
+	return nil
+}
+
+// SplitQualified splits a qualified call target "pkg.fn" into its
+// package and function parts. Unqualified names return ok=false.
+// CallExpr.Fun is the only place qualified names appear; plain
+// identifiers never contain a dot (the lexer has no such spelling).
+func SplitQualified(fun string) (pkg, name string, ok bool) {
+	for i := 0; i < len(fun); i++ {
+		if fun[i] == '.' {
+			return fun[:i], fun[i+1:], true
+		}
+	}
+	return "", fun, false
 }

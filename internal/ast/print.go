@@ -46,6 +46,9 @@ func (p *printer) line(format string, args ...any) {
 func (p *printer) node(n Node) {
 	switch n := n.(type) {
 	case *Program:
+		for _, d := range n.Imports {
+			p.node(d)
+		}
 		for _, d := range n.Structs {
 			p.node(d)
 		}
@@ -58,6 +61,8 @@ func (p *printer) node(n Node) {
 			}
 			p.node(d)
 		}
+	case *ImportDecl:
+		p.line("import %q;", n.Path)
 	case *StructDecl:
 		p.line("struct %s {", n.Name)
 		p.indent++

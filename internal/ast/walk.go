@@ -9,6 +9,9 @@ func Inspect(n Node, f func(Node) bool) {
 	}
 	switch n := n.(type) {
 	case *Program:
+		for _, d := range n.Imports {
+			Inspect(d, f)
+		}
 		for _, d := range n.Structs {
 			Inspect(d, f)
 		}
@@ -18,6 +21,8 @@ func Inspect(n Node, f func(Node) bool) {
 		for _, d := range n.Funs {
 			Inspect(d, f)
 		}
+	case *ImportDecl:
+		// leaf
 	case *StructDecl:
 		for _, fd := range n.Fields {
 			Inspect(fd, f)

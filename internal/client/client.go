@@ -114,6 +114,9 @@ type Meta struct {
 	Incremental string
 	// Phases is the per-phase timing list ("parse=0.1ms,...").
 	Phases string
+	// Xmodule is the whole-program pass summary of a multi_module
+	// request ("modules=N;analyzed=A;failed=F"), "" otherwise.
+	Xmodule string
 	// Backend is the replica that served a gateway-routed request.
 	Backend string
 	// Attempts is how many tries the gateway (or this client) spent.
@@ -128,6 +131,7 @@ func decodeMeta(h http.Header) Meta {
 		TraceID:     h.Get("X-Lna-Trace"),
 		Incremental: h.Get("X-Lna-Incremental"),
 		Phases:      h.Get("X-Lna-Phases"),
+		Xmodule:     h.Get("X-Lna-Xmodule"),
 		Backend:     h.Get("X-Lna-Backend"),
 	}
 	if v := h.Get("X-Lna-Attempts"); v != "" {

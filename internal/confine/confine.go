@@ -72,6 +72,14 @@ type Options struct {
 	// MemoCounters, when non-nil, receives the solve's component
 	// reuse accounting (replayed vs freshly solved).
 	MemoCounters *solve.MemoCounters
+	// Imports supplies resolved import signatures for the
+	// re-typecheck of the planted program; it must match what the
+	// module was originally loaded with.
+	Imports types.ImportSigs
+	// ImportEffects supplies per-formal effect masks for imported
+	// functions ("pkg.fn"); nil havocs imported calls (see
+	// infer.Options.ImportEffects).
+	ImportEffects map[string][]effects.Mask
 }
 
 // Result reports a confine inference run.
@@ -108,7 +116,7 @@ func InferAndApply(prog *ast.Program, diags *source.Diagnostics, opts Options) (
 
 	// 2. Re-typecheck the planted program and infer.
 	opts.Trace.Enter(faults.PhaseTypecheck)
-	res.TInfo = types.Check(prog, diags)
+	res.TInfo = types.CheckWith(prog, diags, opts.Imports)
 	if diags.HasErrors() {
 		return res, fmt.Errorf("confine: planted program fails standard checking: %w", diags.Err())
 	}
@@ -121,6 +129,7 @@ func InferAndApply(prog *ast.Program, diags *source.Diagnostics, opts Options) (
 		InferRestrictLets:     opts.Lets,
 		InferRestrictParams:   opts.Params,
 		OptionalConfines:      optional,
+		ImportEffects:         opts.ImportEffects,
 		LiberalRestrictEffect: true, // inference uses the §5 semantics
 	})
 	if res.Infer.InternalErrors > 0 {

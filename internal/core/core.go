@@ -18,6 +18,7 @@ import (
 	"localalias/internal/effects"
 	"localalias/internal/faults"
 	"localalias/internal/infer"
+	"localalias/internal/locs"
 	"localalias/internal/parser"
 	"localalias/internal/qual"
 	"localalias/internal/restrict"
@@ -38,6 +39,10 @@ type Module struct {
 	Prog  *ast.Program
 	TInfo *types.Info
 	Diags *source.Diagnostics
+	// ImportSigs is the import environment the module was loaded
+	// with (nil for standalone modules); confine's re-typecheck of
+	// the planted program resolves imports against the same surface.
+	ImportSigs types.ImportSigs
 }
 
 // LoadModule parses and type checks src. It fails on lexical,
@@ -56,14 +61,23 @@ func LoadModule(name, src string) (*Module, error) {
 // or ship the diagnostics over the service API instead of losing them
 // to a bare error string.
 func LoadModuleTraced(name, src string, tr *faults.Trace) (*Module, error) {
-	m := &Module{Name: name, Diags: &source.Diagnostics{}}
+	return LoadModuleWith(name, src, nil, tr)
+}
+
+// LoadModuleWith is LoadModuleTraced with cross-module import
+// resolution: sigs supplies the exported signatures of
+// separately-loaded modules. Import declarations naming packages
+// absent from sigs fail with positioned "package not found"
+// diagnostics.
+func LoadModuleWith(name, src string, sigs types.ImportSigs, tr *faults.Trace) (*Module, error) {
+	m := &Module{Name: name, Diags: &source.Diagnostics{}, ImportSigs: sigs}
 	tr.Enter(faults.PhaseParse)
 	m.Prog = parser.Parse(name, src, m.Diags)
 	if m.Diags.HasErrors() {
 		return m, fmt.Errorf("%s: %w", name, m.Diags.Err())
 	}
 	tr.Enter(faults.PhaseTypecheck)
-	m.TInfo = types.Check(m.Prog, m.Diags)
+	m.TInfo = types.CheckWith(m.Prog, m.Diags, sigs)
 	if m.Diags.HasErrors() {
 		return m, fmt.Errorf("%s: %w", name, m.Diags.Err())
 	}
@@ -114,6 +128,41 @@ type LockingOptions struct {
 	// accounting (replayed vs freshly solved) aggregated over both
 	// solves.
 	MemoCounters *solve.MemoCounters
+	// ImportEffects supplies per-formal effect masks for imported
+	// functions ("pkg.fn"), applied at the solver level; nil havocs
+	// every imported call's arguments.
+	ImportEffects map[string][]effects.Mask
+	// ImportTransfers supplies per-variant qualifier transfer tables
+	// for imported functions; nil havocs imported calls in the
+	// qualifier analysis (the single-module baseline).
+	ImportTransfers [NumVariants]qual.Transfers
+	// ExportAPI requests computation of the module's own package
+	// summary (LockingResult.API) for downstream modules.
+	ExportAPI bool
+}
+
+// The experiment variants a cross-module summary is computed under,
+// mirroring the three analysis runs of AnalyzeLocking. Callers apply
+// the variant matching their own run.
+const (
+	VariantNoConfine = iota
+	VariantWithConfine
+	VariantAllStrong
+	NumVariants
+)
+
+// PackageAPI is everything a downstream module needs to compile and
+// analyze against this module without re-analyzing its source: the
+// exported function signatures, the per-variant qualifier transfer
+// tables, and the per-formal effect masks.
+type PackageAPI struct {
+	Name string
+	Sigs *types.PkgSig
+	// Transfers holds each exported function's transfer tables per
+	// experiment variant, keyed by unqualified function name.
+	Transfers [NumVariants]qual.Transfers
+	// Effects holds each exported function's per-formal effect masks.
+	Effects map[string][]effects.Mask
 }
 
 // LockingResult carries the three reports of the Section 7
@@ -137,6 +186,10 @@ type LockingResult struct {
 	// both solves (the baseline solve shared by the no-confine and
 	// all-strong modes, and the confine-inference solve).
 	SolveStats solve.Stats
+
+	// API is the module's package summary for downstream modules,
+	// computed when LockingOptions.ExportAPI is set.
+	API *PackageAPI
 }
 
 // Potential returns the number of spurious errors that strong
@@ -171,7 +224,9 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 
 	// Baseline and upper bound on the pristine AST.
 	tr.Enter(faults.PhaseInfer)
-	baseInfer := infer.Run(m.TInfo, m.Diags, infer.Options{})
+	baseInfer := infer.Run(m.TInfo, m.Diags, infer.Options{
+		ImportEffects: opts.ImportEffects,
+	})
 	if baseInfer.InternalErrors > 0 {
 		return nil, fmt.Errorf("%s: %w", m.Name, m.Diags.Err())
 	}
@@ -183,8 +238,10 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 		return nil, err
 	}
 	tr.Enter(faults.PhaseQual)
-	out.NoConfine = qual.Analyze(baseInfer, baseSol, qual.ModePlain)
-	out.AllStrong = qual.Analyze(baseInfer, baseSol, qual.ModeAllStrong)
+	out.NoConfine = qual.AnalyzeWith(baseInfer, baseSol, qual.ModePlain,
+		opts.ImportTransfers[VariantNoConfine])
+	out.AllStrong = qual.AnalyzeWith(baseInfer, baseSol, qual.ModeAllStrong,
+		opts.ImportTransfers[VariantAllStrong])
 
 	// Confine inference (mutates the AST), then the qualifier
 	// analysis over the surviving bindings.
@@ -197,21 +254,85 @@ func (m *Module) AnalyzeLockingCtx(ctx context.Context, opts LockingOptions, tr 
 		MemoCounters:  opts.MemoCounters,
 		Ctx:           ctx,
 		Trace:         tr,
+		Imports:       m.ImportSigs,
+		ImportEffects: opts.ImportEffects,
 	})
 	if err != nil {
 		return nil, err
 	}
 	out.Confine = cres
 	tr.Enter(faults.PhaseQual)
-	out.WithConfine = qual.Analyze(cres.Infer, cres.Solution, qual.ModePlain)
+	out.WithConfine = qual.AnalyzeWith(cres.Infer, cres.Solution, qual.ModePlain,
+		opts.ImportTransfers[VariantWithConfine])
 	out.SolveStats.Add(baseSol.Stats)
 	out.SolveStats.Add(cres.Solution.Stats)
+	if opts.ExportAPI {
+		out.API = exportAPI(m, baseInfer, baseSol, cres, opts)
+	}
 	// The baseline solution's consumers (the two qual analyses above)
 	// are done and nothing retains it, so its pooled storage can serve
 	// the next module. cres.Solution stays live — it is exported via
 	// out.Confine.
 	baseSol.Release()
 	return out, nil
+}
+
+// exportAPI computes the module's package summary from the three
+// analysis runs: transfer tables are probed under exactly the
+// (inference result, solution, mode) triples the experiment's columns
+// use, so a caller applying variant V sees the callee as variant V
+// analyzed it. Effect masks come from the baseline solve's latent
+// effects, restricted to the cells each formal exposes.
+func exportAPI(m *Module, baseInfer *infer.Result, baseSol *solve.Result,
+	cres *confine.Result, opts LockingOptions) *PackageAPI {
+	api := &PackageAPI{
+		Name:    m.Name,
+		Sigs:    m.TInfo.Exports(m.Name),
+		Effects: make(map[string][]effects.Mask),
+	}
+	api.Transfers[VariantNoConfine] = qual.ComputeTransfers(
+		baseInfer, baseSol, qual.ModePlain, opts.ImportTransfers[VariantNoConfine])
+	api.Transfers[VariantAllStrong] = qual.ComputeTransfers(
+		baseInfer, baseSol, qual.ModeAllStrong, opts.ImportTransfers[VariantAllStrong])
+	api.Transfers[VariantWithConfine] = qual.ComputeTransfers(
+		cres.Infer, cres.Solution, qual.ModePlain, opts.ImportTransfers[VariantWithConfine])
+	for name, sig := range api.Sigs.Funs {
+		api.Effects[name] = effectMasks(baseInfer, baseSol, sig)
+	}
+	return api
+}
+
+// effectMasks computes one read/write/alloc mask per formal of sig:
+// the kinds the function's solved latent effect contains on locations
+// reachable from that formal.
+func effectMasks(res *infer.Result, sol *solve.Result, sig *types.FunSig) []effects.Mask {
+	masks := make([]effects.Mask, len(sig.Params))
+	eff, ok := res.FunEff[sig.Name]
+	if !ok || sol == nil {
+		for i := range masks {
+			masks[i] = effects.HavocMask
+		}
+		return masks
+	}
+	cells := make([]map[locs.Loc]bool, len(sig.Params))
+	for i := range sig.Params {
+		cells[i] = make(map[locs.Loc]bool)
+		for _, c := range res.ParamCells(sig.Decl, i) {
+			cells[i][c] = true
+		}
+	}
+	sol.EachAtom(eff, func(at effects.Atom) {
+		if at.Kind == effects.LocAtom {
+			return
+		}
+		l := res.Locs.Find(at.Loc)
+		for i := range cells {
+			if cells[i][l] {
+				masks[i] |= at.Kind.Bit()
+			}
+		}
+	})
+	return masks
 }
 
 // reportMalformed converts constraints dropped during normalization

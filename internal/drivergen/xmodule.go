@@ -1,0 +1,226 @@
+package drivergen
+
+import "fmt"
+
+// XModule is one module of a multi-module driver stack (the
+// cross-module workload class). Unlike the single-module corpus,
+// these modules import each other, so their precision depends on
+// whether the analysis applies callee summaries or havocs imported
+// calls.
+type XModule struct {
+	Name string
+	// Deps are the packages this module imports.
+	Deps []string
+	// Source is the generated MiniC text.
+	Source string
+	// ExpHavoc / ExpSummary are the per-mode error triples implied by
+	// the module's unit mix under per-module havoc and under the
+	// summary pass. As with the single-module corpus the numbers are
+	// never fed to the analysis: the tests run the pipeline and
+	// assert agreement.
+	ExpHavoc, ExpSummary Triple
+}
+
+// Cross-module pattern units and their calibrated per-mode
+// contributions (no-confine / confine-inference / all-strong),
+// verified by TestXStackExpectations:
+//
+//   - XA ("cross-recoverable"): a lock/unlock pair on a module-local
+//     lock with an imported helper call between the operations. The
+//     helper never touches the lock's state (its transfer is the
+//     identity), but per-module havoc must assume the call smashes it
+//     to ⊤, so the unlock is unverifiable in every mode — no amount
+//     of strong updates recovers from a havoc'd call. The summary
+//     pass applies the identity transfer and eliminates all of it.
+//     Havoc (1, 1, 1) vs summary (0, 0, 0).
+//   - XB ("cross-module bug"): the caller holds the lock and passes
+//     it to an imported helper that acquires it again — a real
+//     double-acquire split across two modules. Havoc misses it
+//     entirely (the callee's precondition is invisible); the summary
+//     pass reports it at the call site.
+//     Havoc (0, 0, 0) vs summary (1, 1, 1).
+//   - CX ("clean cross"): an imported helper invoked with an
+//     unlocked lock, satisfying its precondition. No errors either
+//     way — the differential anchor.
+//     Havoc (0, 0, 0) vs summary (0, 0, 0).
+//
+// Leaves also carry plain single-module A units, which contribute
+// (1, 0, 0) identically in both modes: cross-module precision must
+// not disturb module-local reasoning.
+var (
+	xaHavoc   = Triple{1, 1, 1}
+	xaSummary = Triple{0, 0, 0}
+	xbHavoc   = Triple{0, 0, 0}
+	xbSummary = Triple{1, 1, 1}
+	aBoth     = Triple{1, 0, 0}
+)
+
+func addTriples(ts ...Triple) Triple {
+	var out Triple
+	for _, t := range ts {
+		out.NoConfine += t.NoConfine
+		out.Confine += t.Confine
+		out.AllStrong += t.AllStrong
+	}
+	return out
+}
+
+func scaleTriple(t Triple, n int) Triple {
+	return Triple{t.NoConfine * n, t.Confine * n, t.AllStrong * n}
+}
+
+// XStack generates a multi-module driver stack: one shared
+// lock-header package, two helper-library packages built on it, and
+// `leaves` leaf driver modules importing the helpers. Every third
+// leaf carries a real cross-module bug (XB); all leaves carry
+// cross-recoverable (XA), clean-cross (CX), and plain A units, so the
+// summary pass eliminates strictly more errors than havoc in every
+// mode column while still reporting the planted cross-module bugs.
+func XStack(leaves int) []XModule {
+	if leaves < 1 {
+		leaves = 1
+	}
+	mods := []XModule{xhdrModule(), xioModule(), xqueueModule()}
+	for i := 0; i < leaves; i++ {
+		mods = append(mods, leafModule(i))
+	}
+	return mods
+}
+
+// xhdrModule is the shared lock-header package: scalar bookkeeping
+// helpers used by every library. It contains no lock operations.
+func xhdrModule() XModule {
+	src := `// Module xhdr: shared lock-header package (drivergen xmodule).
+
+fun csum(x: int, y: int): int {
+    let s = new 0;
+    *s = x * 31 + y;
+    if (*s < 0) {
+        *s = -*s;
+    }
+    return *s % 65536;
+}
+
+fun step(v: int): int {
+    return v + 1;
+}
+`
+	return XModule{Name: "xhdr", Source: src}
+}
+
+// xioModule is a helper library exporting restrict-annotated lock
+// helpers. The restrict annotation is what makes the exported
+// transfer tables precise: it licenses strong updates on the formal
+// inside the callee, so the probe records exact state changes instead
+// of ⊤ (see qual/transfer.go).
+func xioModule() XModule {
+	src := `// Module xio: I/O helper library (drivergen xmodule).
+
+import "xhdr";
+
+global xio_stats: int[8];
+
+fun pulse(l: restrict ref lock) {
+    spin_lock(l);
+    xio_stats[0] = xhdr.csum(xio_stats[0], 1);
+    spin_unlock(l);
+}
+
+fun note(l: restrict ref lock, i: int) {
+    xio_stats[1] = xhdr.step(i);
+}
+`
+	return XModule{Name: "xio", Deps: []string{"xhdr"}}.withSource(src)
+}
+
+// xqueueModule is a second helper library on the same header.
+func xqueueModule() XModule {
+	src := `// Module xqueue: queue helper library (drivergen xmodule).
+
+import "xhdr";
+
+global xq_depth: int;
+
+fun drain(l: restrict ref lock) {
+    spin_lock(l);
+    work();
+    spin_unlock(l);
+}
+
+fun peek(l: restrict ref lock): int {
+    return xhdr.step(xq_depth);
+}
+`
+	return XModule{Name: "xqueue", Deps: []string{"xhdr"}}.withSource(src)
+}
+
+func (m XModule) withSource(src string) XModule {
+	m.Source = src
+	return m
+}
+
+// leafHasXB reports whether leaf i carries the cross-module bug unit
+// (every third leaf, so XB stays rarer than XA and the summary pass
+// wins every column in aggregate).
+func leafHasXB(i int) bool { return i%3 == 0 }
+
+func leafModule(i int) XModule {
+	name := fmt.Sprintf("xdrv%02d", i)
+	g := &srcGen{}
+	g.pf("// Module %s: leaf driver of the multi-module stack.\n\n", name)
+	g.pf("import \"xio\";\nimport \"xqueue\";\n\n")
+
+	// XA units: local pair around a state-preserving imported call.
+	g.pf("global %s_tx: lock;\n\n", name)
+	g.pf("fun %s_tx_done(n: int) {\n", name)
+	g.pf("    spin_lock(&%s_tx);\n", name)
+	g.pf("    xio.note(&%s_tx, n);\n", name)
+	g.pf("    spin_unlock(&%s_tx);\n", name)
+	g.pf("}\n\n")
+	g.pf("global %s_rx: lock;\nglobal %s_pend: int;\n\n", name, name)
+	g.pf("fun %s_rx_poll() {\n", name)
+	g.pf("    spin_lock(&%s_rx);\n", name)
+	g.pf("    %s_pend = xqueue.peek(&%s_rx);\n", name, name)
+	g.pf("    spin_unlock(&%s_rx);\n", name)
+	g.pf("}\n\n")
+	xa := 2
+
+	// XB unit: double acquire split across the module boundary.
+	xb := 0
+	if leafHasXB(i) {
+		g.pf("global %s_bug: lock;\n\n", name)
+		g.pf("fun %s_reset_locked() {\n", name)
+		g.pf("    spin_lock(&%s_bug);\n", name)
+		g.pf("    xio.pulse(&%s_bug);\n", name)
+		g.pf("}\n\n")
+		xb = 1
+	}
+
+	// CX unit: precondition-satisfying imported call.
+	g.pf("global %s_cfg: lock;\n\n", name)
+	g.pf("fun %s_configure() {\n", name)
+	g.pf("    xio.pulse(&%s_cfg);\n", name)
+	g.pf("    xqueue.drain(&%s_cfg);\n", name)
+	g.pf("}\n\n")
+
+	// One plain single-module A unit for realism.
+	g.spec = &ModuleSpec{Name: name}
+	g.unitA(i)
+
+	return XModule{
+		Name:       name,
+		Deps:       []string{"xio", "xqueue"},
+		Source:     g.b.String(),
+		ExpHavoc:   addTriples(scaleTriple(xaHavoc, xa), scaleTriple(xbHavoc, xb), aBoth),
+		ExpSummary: addTriples(scaleTriple(xaSummary, xa), scaleTriple(xbSummary, xb), aBoth),
+	}
+}
+
+// XStackExpected sums the per-module expectations of a stack.
+func XStackExpected(mods []XModule) (havoc, summary Triple) {
+	for _, m := range mods {
+		havoc = addTriples(havoc, m.ExpHavoc)
+		summary = addTriples(summary, m.ExpSummary)
+	}
+	return havoc, summary
+}

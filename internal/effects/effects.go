@@ -63,6 +63,37 @@ func (k Kind) String() string {
 	}
 }
 
+// Mask is a set of effect kinds. Cross-module effect signatures use
+// one Mask per formal parameter: the read/write/alloc kinds the
+// callee's solved latent effect contains on locations reachable from
+// that formal, rebased to the caller's argument.
+type Mask uint8
+
+// Bit returns the mask bit for k.
+func (k Kind) Bit() Mask { return Mask(1) << k }
+
+// Has reports whether k is in the mask.
+func (m Mask) Has(k Kind) bool { return m&k.Bit() != 0 }
+
+// HavocMask is the worst-case signature: read, write and alloc.
+const HavocMask = Mask(1)<<Read | Mask(1)<<Write | Mask(1)<<Alloc
+
+func (m Mask) String() string {
+	s := ""
+	for _, k := range [...]Kind{Read, Write, Alloc} {
+		if m.Has(k) {
+			if s != "" {
+				s += "+"
+			}
+			s += k.String()
+		}
+	}
+	if s == "" {
+		return "pure"
+	}
+	return s
+}
+
 // Atom is one effect: kind applied to an abstract location. Atoms are
 // stored canonicalized (Loc is a representative at insertion time);
 // compare via the solver, which re-canonicalizes after unifications.

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestXmoduleCorpus runs the cross-module experiment and checks its
+// acceptance properties: no module fails, every per-module triple
+// matches the generator's calibrated expectation in both settings,
+// and the summary pass eliminates strictly more errors than havoc in
+// every mode column.
+func TestXmoduleCorpus(t *testing.T) {
+	res := RunXmoduleCorpus()
+	if len(res.Failures) != 0 {
+		t.Fatalf("modules failed to analyze: %v", res.Failures)
+	}
+	if res.Mismatches != 0 {
+		for _, row := range res.Rows {
+			if row.Mismatch {
+				t.Errorf("%s: havoc %+v (want %+v), summary %+v (want %+v)",
+					row.Name, row.Havoc, row.ExpHavoc, row.Summary, row.ExpSummary)
+			}
+		}
+		t.Fatalf("%d module expectation mismatches", res.Mismatches)
+	}
+	if !res.SummaryWinsEveryColumn() {
+		t.Errorf("summary does not strictly win every column: havoc %+v, summary %+v",
+			res.HavocTotal, res.SummaryTotal)
+	}
+	if len(res.Rows) != xmoduleLeaves+3 {
+		t.Errorf("table covers %d modules, want %d", len(res.Rows), xmoduleLeaves+3)
+	}
+}
+
+// TestXmoduleTable checks the rendered table carries the rows and the
+// acceptance line EXPERIMENTS.md quotes.
+func TestXmoduleTable(t *testing.T) {
+	res := RunXmoduleCorpus()
+	tbl := res.Table()
+	for _, want := range []string{"xhdr", "xio", "xqueue", "xdrv00", "TOTAL",
+		"summary eliminates strictly more errors than havoc in every column"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table is missing %q:\n%s", want, tbl)
+		}
+	}
+	if strings.Contains(tbl, "MISMATCH") || strings.Contains(tbl, "WARNING") {
+		t.Errorf("table reports a mismatch:\n%s", tbl)
+	}
+}

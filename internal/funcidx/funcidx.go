@@ -73,6 +73,11 @@ type Decl struct {
 	// empty for non-function declarations.
 	Calls []string
 	Refs  []string
+	// QualifiedCalls lists the "pkg.fn" names this function's body
+	// mentions — calls into imported modules. They resolve against
+	// *other* modules' indexes (see CrossInvalidated), not this one's.
+	// Sorted, deduplicated, empty for non-function declarations.
+	QualifiedCalls []string
 
 	// mentions holds the raw identifier spellings seen in a function
 	// body during scanning; Build resolves them into Calls/Refs once
@@ -224,6 +229,7 @@ func scanFunc(toks []lexer.Token, i int, ix *Index) int {
 	}
 	depth := 0
 	var mentions []string
+	qualified := map[string]bool{}
 	bodyStart := i
 	for toks[i].Kind != token.EOF {
 		switch toks[i].Kind {
@@ -234,6 +240,9 @@ func scanFunc(toks []lexer.Token, i int, ix *Index) int {
 		case token.Ident:
 			if i > bodyStart {
 				mentions = append(mentions, toks[i].Lit)
+				if toks[i+1].Kind == token.Dot && toks[i+2].Kind == token.Ident {
+					qualified[toks[i].Lit+"."+toks[i+2].Lit] = true
+				}
 			}
 		}
 		i++
@@ -245,11 +254,12 @@ func scanFunc(toks []lexer.Token, i int, ix *Index) int {
 		return i
 	}
 	d := &Decl{
-		Kind:     KindFunc,
-		Name:     name,
-		Hash:     hashTokens(toks[start:i]),
-		Span:     source.Span{Start: toks[start].Span.Start, End: toks[i-1].Span.End},
-		mentions: mentions,
+		Kind:           KindFunc,
+		Name:           name,
+		Hash:           hashTokens(toks[start:i]),
+		Span:           source.Span{Start: toks[start].Span.Start, End: toks[i-1].Span.End},
+		mentions:       mentions,
+		QualifiedCalls: sortedKeys(qualified),
 	}
 	ix.add(d)
 	return i
@@ -452,6 +462,81 @@ func Invalidated(old, new *Index, d Delta) []string {
 		handle(key, true)
 	}
 	return sortedKeys(dirty)
+}
+
+// CrossInvalidated extends the invalidation closure across module
+// boundaries: given every module's index, the name of the edited
+// module, and its declaration delta, it returns — per *importing*
+// module — the functions whose analysis the edit could affect. A
+// function is invalidated when its body makes a qualified call
+// "edited.fn" to a changed or removed function (a changed callee
+// means a changed package summary at that call site; a removed one
+// means the import no longer resolves), and the closure then climbs
+// that module's local call graph exactly like Invalidated does:
+// summaries inline local callees, so a transitive caller in pkg A
+// depends on an edited callee in pkg B. The edited module itself is
+// not in the result — Invalidated covers it. Like the single-module
+// closure this is conservative bookkeeping for dispositions and
+// tests; the content-addressed caches are the correctness mechanism.
+func CrossInvalidated(indexes map[string]*Index, edited string, d Delta) map[string][]string {
+	touched := map[string]bool{}
+	collect := func(keys []string) {
+		for _, key := range keys {
+			if kind, name, ok := splitKey(key); ok && kind == "fun" {
+				touched[edited+"."+name] = true
+			}
+		}
+	}
+	collect(d.Changed)
+	collect(d.Removed)
+	if len(touched) == 0 {
+		return nil
+	}
+
+	out := map[string][]string{}
+	for mod, ix := range indexes {
+		if mod == edited || ix == nil {
+			continue
+		}
+		callers := make(map[string][]string)
+		for _, decl := range ix.Decls {
+			if decl.Kind != KindFunc {
+				continue
+			}
+			for _, callee := range decl.Calls {
+				callers[callee] = append(callers[callee], decl.Name)
+			}
+		}
+		dirty := make(map[string]bool)
+		var markCallers func(name string)
+		markCallers = func(name string) {
+			for _, c := range callers[name] {
+				if !dirty[c] {
+					dirty[c] = true
+					markCallers(c)
+				}
+			}
+		}
+		for _, decl := range ix.Decls {
+			if decl.Kind != KindFunc || dirty[decl.Name] {
+				continue
+			}
+			for _, q := range decl.QualifiedCalls {
+				if touched[q] {
+					dirty[decl.Name] = true
+					markCallers(decl.Name)
+					break
+				}
+			}
+		}
+		if len(dirty) > 0 {
+			out[mod] = sortedKeys(dirty)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func splitKey(key string) (kind, name string, ok bool) {

@@ -169,6 +169,9 @@ func (inf *inferencer) call(e *ast.CallExpr, sink effects.Var, env effects.Var) 
 		}
 		return inf.b.unitT
 	}
+	if _, _, ok := ast.SplitQualified(e.Fun); ok {
+		return inf.importedCall(e, sink, env)
+	}
 	fi := inf.funs[e.Fun]
 	if fi == nil {
 		for _, a := range e.Args {
@@ -186,6 +189,110 @@ func (inf *inferencer) call(e *ast.CallExpr, sink effects.Var, env effects.Var) 
 	// The call has the callee's latent effect.
 	inf.sys.AddVarIncl(fi.eff, sink)
 	return fi.result
+}
+
+// importedCall infers a call into another module (pkg.fn). The
+// callee's body is unavailable, so its latent effect is stood in for
+// either by the effect signature the cross-module pass supplied
+// (Options.ImportEffects) or by worst-case havoc. In both cases the
+// argument types themselves join the sink, so restrict/confine scopes
+// treat the call as an escape point for anything reachable from the
+// arguments — the callee may retain aliases in its own globals.
+func (inf *inferencer) importedCall(e *ast.CallExpr, sink effects.Var, env effects.Var) *LType {
+	masks, haveSig := inf.opts.ImportEffects[e.Fun]
+	for i, a := range e.Args {
+		at := inf.expr(a, sink, env)
+		if at.Kind() != LRef {
+			continue
+		}
+		inf.sys.AddVarIncl(at.TVar(), sink)
+		mask := effects.HavocMask
+		if haveSig {
+			mask = 0
+			if i < len(masks) {
+				mask = masks[i]
+			}
+		}
+		for _, cell := range effCells(at, nil, nil) {
+			for _, k := range [...]effects.Kind{effects.Read, effects.Write, effects.Alloc} {
+				if mask.Has(k) {
+					inf.sys.AddAtom(effects.Atom{Kind: k, Loc: cell}, sink)
+				}
+			}
+		}
+	}
+	// Result storage is shared per callee: two calls to the same
+	// imported function may alias through their results.
+	rt := inf.imported[e.Fun]
+	if rt == nil {
+		var sig *types.FunSig
+		if pkg, name, ok := ast.SplitQualified(e.Fun); ok {
+			if ps := inf.tinfo.Imports[pkg]; ps != nil {
+				sig = ps.Funs[name]
+			}
+		}
+		if sig == nil {
+			rt = inf.b.intT
+		} else {
+			rt = inf.b.build(sig.Result, modeHeap, e.Fun+".ret", nil)
+		}
+		inf.imported[e.Fun] = rt
+	}
+	return rt
+}
+
+// ParamCells returns the canonical storage cells reachable from
+// formal i of function f — the locations a caller's argument exposes
+// to the callee. For restrict formals both the outer ρ and the bound
+// copy ρ′ are included, so effect masks computed against the solved
+// latent effect cover accesses made through either.
+func (r *Result) ParamCells(f *ast.FunDecl, i int) []locs.Loc {
+	if i >= len(f.Params) {
+		return nil
+	}
+	p := f.Params[i]
+	var out []locs.Loc
+	if b := r.Bindings[p]; b != nil {
+		out = append(out, r.Locs.Find(b.Rho), r.Locs.Find(b.RhoP))
+	}
+	sym := r.TInfo.Binders[p]
+	if sym != nil {
+		for _, c := range effCells(r.SymLTypes[sym], nil, nil) {
+			out = append(out, r.Locs.Find(c))
+		}
+	}
+	return out
+}
+
+// effCells collects the storage cells reachable from t — the cells a
+// callee receiving a value of type t could touch.
+func effCells(t *LType, out []locs.Loc, seen map[*LType]bool) []locs.Loc {
+	if t == nil {
+		return out
+	}
+	t = t.find()
+	if seen[t] {
+		return out
+	}
+	if seen == nil {
+		seen = make(map[*LType]bool)
+	}
+	seen[t] = true
+	switch t.kind {
+	case LRef, LArray:
+		if t.cell != locs.NoLoc {
+			out = append(out, t.cell)
+		}
+		out = effCells(t.elem, out, seen)
+	case LStruct:
+		for i := range t.fields {
+			if t.fcells[i] != locs.NoLoc {
+				out = append(out, t.fcells[i])
+			}
+			out = effCells(t.fields[i], out, seen)
+		}
+	}
+	return out
 }
 
 // place infers e as a place, returning its storage cell and content

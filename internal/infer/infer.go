@@ -29,6 +29,13 @@ type Options struct {
 	// temporary storage leak into latent effects and spuriously
 	// defeat restrict.
 	NoDown bool
+	// ImportEffects maps qualified imported-function names ("pkg.fn")
+	// to per-formal effect masks computed from the callee's solved
+	// latent effect by the cross-module pass (internal/modgraph).
+	// Qualified calls to functions absent from the map — or when the
+	// map is nil — are havoc'd: read+write+alloc on every location
+	// reachable from their ref arguments.
+	ImportEffects map[string][]effects.Mask
 	// LiberalRestrictEffect switches explicit restrict/confine
 	// annotations to the liberal semantics of Section 5 (consistent
 	// with C99): restricting a location is an effect on it only if
@@ -210,9 +217,10 @@ type inferencer struct {
 	opts  Options
 	res   *Result
 
-	globals map[string]*globalLInfo
-	funs    map[string]*funLInfo
-	envG    effects.Var // ε of the global environment
+	globals  map[string]*globalLInfo
+	funs     map[string]*funLInfo
+	imported map[string]*LType // shared result type per imported callee
+	envG     effects.Var       // ε of the global environment
 
 	cur      *funLInfo
 	confines []*confCtx
@@ -227,6 +235,7 @@ func (inf *inferencer) run() {
 
 	// Globals: build storage once, collect ε_Γ(globals).
 	inf.globals = make(map[string]*globalLInfo)
+	inf.imported = make(map[string]*LType)
 	inf.envG = inf.sys.Fresh("Γ(globals)")
 	for _, g := range prog.Globals {
 		sym := inf.tinfo.Globals[g.Name]

@@ -13,7 +13,8 @@ import (
 // Token is one lexed token.
 type Token struct {
 	Kind token.Kind
-	// Lit is the spelling for Ident and Int tokens, empty otherwise.
+	// Lit is the spelling for Ident and Int tokens and the unquoted
+	// contents for String tokens, empty otherwise.
 	Lit  string
 	Span source.Span
 }
@@ -158,6 +159,20 @@ func (lx *Lexer) Next() Token {
 		return t
 	}
 	switch c {
+	case '"':
+		// String literals name import paths; no escapes, single line.
+		for lx.off < len(lx.src) && lx.peek() != '"' && lx.peek() != '\n' {
+			lx.off++
+		}
+		if lx.off >= len(lx.src) || lx.peek() != '"' {
+			sp := source.Span{Start: source.Pos(start), End: source.Pos(lx.off)}
+			lx.errorf(sp, "unterminated string literal")
+			return Token{Kind: token.Illegal, Lit: lx.src[start:lx.off], Span: sp}
+		}
+		lx.off++ // closing quote
+		t := mk(token.String)
+		t.Lit = lx.src[start+1 : lx.off-1]
+		return t
 	case '+':
 		return mk(token.Plus)
 	case '-':

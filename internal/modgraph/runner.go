@@ -1,0 +1,334 @@
+package modgraph
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"localalias/internal/ast"
+	"localalias/internal/core"
+	"localalias/internal/effects"
+	"localalias/internal/qual"
+	"localalias/internal/types"
+)
+
+// runner executes the bottom-up pass. Each module runs after all its
+// (acyclic, present) dependencies; the per-module work is the
+// standard core pipeline plus summary export. Module results are
+// deterministic regardless of worker count because a module's inputs
+// are exactly its source, the options, and its dependencies'
+// published APIs.
+type runner struct {
+	mods   map[string]*parsed
+	cyclic map[string]bool
+	opts   Options
+	res    *Result
+
+	mu sync.Mutex // guards res.Modules writes during parallel execution
+}
+
+func newRunner(mods map[string]*parsed, cyclic map[string]bool, opts Options, res *Result) *runner {
+	return &runner{mods: mods, cyclic: cyclic, opts: opts, res: res}
+}
+
+func (r *runner) execute() {
+	order := r.res.Order
+	if r.opts.Workers <= 1 || len(order) < 2 {
+		for _, name := range order {
+			r.analyze(name)
+		}
+		return
+	}
+
+	// Dependency-scheduled worker pool: a module enters the ready
+	// queue when its last unfinished dependency completes (atomic
+	// countdown, same shape as the solver's component scheduler).
+	pending := make(map[string]*int32, len(order))
+	dependents := make(map[string][]string)
+	for _, n := range order {
+		cnt := int32(0)
+		for _, d := range r.mods[n].deps {
+			if r.mods[d] != nil && !r.cyclic[d] {
+				cnt++
+				dependents[d] = append(dependents[d], n)
+			}
+		}
+		c := cnt
+		pending[n] = &c
+	}
+
+	ready := make(chan string, len(order))
+	for _, n := range order {
+		if atomic.LoadInt32(pending[n]) == 0 {
+			ready <- n
+		}
+	}
+
+	workers := r.opts.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var done int32
+	total := int32(len(order))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for name := range ready {
+				r.analyze(name)
+				for _, d := range dependents[name] {
+					if atomic.AddInt32(pending[d], -1) == 0 {
+						ready <- d
+					}
+				}
+				if atomic.AddInt32(&done, 1) == total {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// depAPI returns the published API of dependency d, or nil when d is
+// missing, failed, or summaries are disabled.
+func (r *runner) depAPI(d string) *core.PackageAPI {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mr := r.res.Modules[d]; mr != nil {
+		return mr.API
+	}
+	return nil
+}
+
+// depSigs returns the exported type surface of dependency d: the
+// analyzed module's checked exports when available, else a parse-level
+// extraction (the havoc fallback for failed deps and cycle members).
+// Returns nil when d is not among the program's modules.
+func (r *runner) depSigs(d string) *types.PkgSig {
+	p := r.mods[d]
+	if p == nil {
+		return nil
+	}
+	r.mu.Lock()
+	mr := r.res.Modules[d]
+	r.mu.Unlock()
+	if mr != nil && !mr.Failed() && mr.Module != nil && mr.Module.TInfo != nil {
+		return mr.Module.TInfo.Exports(d)
+	}
+	return sigsFromParse(d, p.prog)
+}
+
+// analyze runs one module with its dependencies' summaries in scope
+// and publishes the result.
+func (r *runner) analyze(name string) {
+	p := r.mods[name]
+	mr := &ModuleResult{Name: name, Deps: p.deps}
+
+	// Build the import environment and the content fingerprint in one
+	// pass over the (sorted) dependency list.
+	sigs := make(types.ImportSigs)
+	effs := make(map[string][]effects.Mask)
+	var trans [core.NumVariants]qual.Transfers
+	h := sha256.New()
+	h.Write([]byte("lna-xmod/v1\x00"))
+	fmt.Fprintf(h, "havoc=%t;general=%t;noparams=%t;nolets=%t\x00",
+		r.opts.Havoc, r.opts.General, r.opts.NoParams, r.opts.NoLets)
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(p.src.Text))
+	for _, d := range p.deps {
+		h.Write([]byte{0})
+		h.Write([]byte(d))
+		h.Write([]byte{0})
+		dp := r.mods[d]
+		if dp == nil {
+			h.Write([]byte("missing"))
+			continue // unresolved: typecheck reports it
+		}
+		var dfp [32]byte
+		r.mu.Lock()
+		dmr := r.res.Modules[d]
+		r.mu.Unlock()
+		if dmr != nil && !dmr.Failed() {
+			dfp = dmr.Fingerprint
+		} else {
+			// Failed dependency: chain its source identity so fixing
+			// it invalidates this module too.
+			dfp = sha256.Sum256([]byte("failed\x00" + d + "\x00" + dp.src.Text))
+		}
+		h.Write(dfp[:])
+		if ps := r.depSigs(d); ps != nil {
+			sigs[d] = ps
+		}
+		if api := r.depAPI(d); api != nil && !r.opts.Havoc {
+			for fn, masks := range api.Effects {
+				effs[d+"."+fn] = masks
+			}
+			for v := 0; v < core.NumVariants; v++ {
+				for fn, pts := range api.Transfers[v] {
+					if trans[v] == nil {
+						trans[v] = make(qual.Transfers)
+					}
+					trans[v][d+"."+fn] = pts
+				}
+			}
+		}
+	}
+	copy(mr.Fingerprint[:], h.Sum(nil))
+
+	if r.opts.Cache != nil {
+		if api, out, ok := r.opts.Cache.lookup(mr.Fingerprint); ok {
+			mr.CacheHit = true
+			mr.API = api
+			mr.Outcome = out
+			r.publish(mr)
+			return
+		}
+	}
+
+	m, err := core.LoadModuleWith(name, p.src.Text, sigs, nil)
+	mr.Module = m
+	if err != nil {
+		mr.Err = err
+		r.publish(mr)
+		return
+	}
+	lr, err := m.AnalyzeLockingCtx(context.Background(), core.LockingOptions{
+		General:         r.opts.General,
+		NoParams:        r.opts.NoParams,
+		NoLets:          r.opts.NoLets,
+		SolverWorkers:   r.opts.SolverWorkers,
+		Memo:            r.opts.Memo,
+		ImportEffects:   importEffects(effs, r.opts.Havoc),
+		ImportTransfers: importTransfers(trans, r.opts.Havoc),
+		ExportAPI:       !r.opts.Havoc,
+	}, nil)
+	if err != nil {
+		mr.Err = fmt.Errorf("%s: %w", name, err)
+		r.publish(mr)
+		return
+	}
+	mr.Locking = lr
+	mr.API = lr.API
+	mr.Outcome = distill(m, lr)
+	if r.opts.Cache != nil {
+		r.opts.Cache.store(mr.Fingerprint, mr.API, mr.Outcome)
+	}
+	r.publish(mr)
+}
+
+func (r *runner) publish(mr *ModuleResult) {
+	r.mu.Lock()
+	r.res.Modules[mr.Name] = mr
+	r.mu.Unlock()
+}
+
+// importEffects returns nil (full havoc) in havoc mode, and an empty
+// non-nil map otherwise so that unknown callees still havoc while
+// known ones apply their masks.
+func importEffects(effs map[string][]effects.Mask, havoc bool) map[string][]effects.Mask {
+	if havoc {
+		return nil
+	}
+	return effs
+}
+
+func importTransfers(trans [core.NumVariants]qual.Transfers, havoc bool) [core.NumVariants]qual.Transfers {
+	if havoc {
+		return [core.NumVariants]qual.Transfers{}
+	}
+	return trans
+}
+
+// distill reduces a full locking result to its cache-replayable form:
+// counts plus rendered findings per experiment variant.
+func distill(m *core.Module, lr *core.LockingResult) *Outcome {
+	out := &Outcome{
+		Sites:   lr.NoConfine.NumSites,
+		Planted: lr.Confine.Planted,
+		Kept:    len(lr.Confine.Kept),
+	}
+	reports := [core.NumVariants]*qual.Report{
+		core.VariantNoConfine:   lr.NoConfine,
+		core.VariantWithConfine: lr.WithConfine,
+		core.VariantAllStrong:   lr.AllStrong,
+	}
+	for v, rep := range reports {
+		mo := ModeOutcome{Errors: []Finding{}}
+		for _, e := range rep.Errors {
+			mo.Errors = append(mo.Errors, Finding{
+				Pos: m.Prog.File.Position(e.Site.Start).String(),
+				Msg: e.String(),
+			})
+		}
+		out.Modes[v] = mo
+	}
+	return out
+}
+
+// sigsFromParse extracts the exportable function surface of a module
+// from its parse tree alone, without type checking: enough for
+// importers of a failed module (cycle member, type error) to resolve
+// calls into it and havoc their effects instead of failing
+// themselves. Portable types mention no module-local struct names, so
+// parse-level resolution agrees with the checker's on every function
+// it admits.
+func sigsFromParse(name string, prog *ast.Program) *PkgSigFromParse {
+	ps := &types.PkgSig{Name: name, Funs: make(map[string]*types.FunSig)}
+	for _, f := range prog.Funs {
+		sig := &types.FunSig{Decl: f, Name: f.Name}
+		ok := true
+		for _, prm := range f.Params {
+			t := portableType(prm.Type)
+			if t == nil {
+				ok = false
+				break
+			}
+			sig.Params = append(sig.Params, t)
+		}
+		if !ok {
+			continue
+		}
+		if sig.Result = portableType(f.Result); sig.Result == nil {
+			continue
+		}
+		if _, dup := ps.Funs[f.Name]; !dup {
+			ps.Funs[f.Name] = sig
+		}
+	}
+	return ps
+}
+
+// PkgSigFromParse aliases types.PkgSig; the separate name documents
+// call sites that run on unchecked surfaces.
+type PkgSigFromParse = types.PkgSig
+
+// portableType resolves a parse-level type expression to a checked
+// type if it is portable (prim/ref/array only); nil result means
+// non-portable. A nil expression is the implicit unit result.
+func portableType(te ast.TypeExpr) types.Type {
+	switch te := te.(type) {
+	case nil:
+		return &types.Prim{Kind: ast.PrimUnit}
+	case *ast.PrimType:
+		return &types.Prim{Kind: te.Kind}
+	case *ast.RefType:
+		elem := portableType(te.Elem)
+		if elem == nil {
+			return nil
+		}
+		return &types.Ref{Elem: elem}
+	case *ast.ArrayType:
+		elem := portableType(te.Elem)
+		if elem == nil {
+			return nil
+		}
+		return &types.Array{Elem: elem, Size: te.Size}
+	default: // *ast.NamedType
+		return nil
+	}
+}

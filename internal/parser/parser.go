@@ -2,7 +2,8 @@
 //
 // Grammar (EBNF, "//" comments elided):
 //
-//	program    = { structDecl | globalDecl | funDecl } .
+//	program    = { importDecl | structDecl | globalDecl | funDecl } .
+//	importDecl = "import" STRING ";" .
 //	structDecl = "struct" IDENT "{" { IDENT ":" type ";" } "}" .
 //	globalDecl = "global" IDENT ":" type ";" .
 //	funDecl    = "fun" IDENT "(" [ params ] ")" [ ":" type ] block .
@@ -21,9 +22,14 @@
 //	expr       = binary (precedence climbing over || && == != < <= > >=
 //	             + - * / %) .
 //	unary      = ( "*" | "&" | "!" | "-" | "new" ) unary | postfix .
-//	postfix    = primary { "[" expr "]" | "." IDENT | "->" IDENT } .
-//	primary    = INT | IDENT [ "(" [ expr { "," expr } ] ")" ]
-//	           | "(" expr ")" .
+//	postfix    = primary { "[" expr "]" | "." IDENT [ callArgs ]
+//	             | "->" IDENT } .
+//	primary    = INT | IDENT [ callArgs ] | "(" expr ")" .
+//	callArgs   = "(" [ expr { "," expr } ] ")" .
+//
+// IDENT "." IDENT followed by callArgs is a qualified call pkg.fn(...)
+// into an imported module; MiniC has no method calls or function-typed
+// fields, so the form is unambiguous.
 package parser
 
 import (
@@ -123,7 +129,7 @@ func (p *parser) sync(stops ...token.Kind) {
 		case token.Semi:
 			p.advance()
 			return
-		case token.RBrace, token.KwFun, token.KwGlobal, token.KwStruct:
+		case token.RBrace, token.KwFun, token.KwGlobal, token.KwStruct, token.KwImport:
 			return
 		}
 		p.advance()
@@ -137,6 +143,8 @@ func (p *parser) program() *ast.Program {
 	prog := &ast.Program{File: p.file}
 	for !p.at(token.EOF) {
 		switch p.kind() {
+		case token.KwImport:
+			prog.Imports = append(prog.Imports, p.importDecl())
 		case token.KwStruct:
 			prog.Structs = append(prog.Structs, p.structDecl())
 		case token.KwGlobal:
@@ -144,7 +152,7 @@ func (p *parser) program() *ast.Program {
 		case token.KwFun:
 			prog.Funs = append(prog.Funs, p.funDecl())
 		default:
-			p.errorf(p.span(), "expected declaration (struct, global or fun), found %q", p.kind())
+			p.errorf(p.span(), "expected declaration (import, struct, global or fun), found %q", p.kind())
 			p.sync()
 			if p.at(token.Semi) || p.at(token.RBrace) {
 				p.advance()
@@ -152,6 +160,16 @@ func (p *parser) program() *ast.Program {
 		}
 	}
 	return prog
+}
+
+func (p *parser) importDecl() *ast.ImportDecl {
+	start := p.expect(token.KwImport).Span
+	path := p.expect(token.String)
+	end := p.expect(token.Semi).Span
+	if path.Kind == token.String && path.Lit == "" {
+		p.errorf(path.Span, "empty import path")
+	}
+	return &ast.ImportDecl{Path: path.Lit, Sp: start.Union(end)}
 }
 
 func (p *parser) structDecl() *ast.StructDecl {
@@ -454,6 +472,21 @@ func (p *parser) postfix() ast.Expr {
 		case token.Dot:
 			p.advance()
 			name := p.expect(token.Ident)
+			if v, ok := e.(*ast.VarExpr); ok && p.at(token.LParen) {
+				// Qualified call pkg.fn(args) into an imported module.
+				p.advance()
+				call := &ast.CallExpr{Fun: v.Name + "." + name.Lit}
+				for !p.at(token.RParen) && !p.at(token.EOF) {
+					call.Args = append(call.Args, p.expr())
+					if !p.accept(token.Comma) {
+						break
+					}
+				}
+				end := p.expect(token.RParen).Span
+				call.Sp = e.Span().Union(end)
+				e = call
+				continue
+			}
 			e = &ast.FieldExpr{X: e, Name: name.Lit, Sp: e.Span().Union(name.Span)}
 		case token.Arrow:
 			p.advance()

@@ -136,21 +136,14 @@ const maxInlineDepth = 64
 // Analyze runs the locking analysis over the module captured by res.
 // sol is the least solution of res.Sys (used to havoc on recursion
 // cut-offs); it may be nil, in which case recursion havocs nothing.
+// Qualified calls into imported modules havoc their argument targets;
+// use AnalyzeWith to apply cross-module summaries instead.
 func Analyze(res *infer.Result, sol *solve.Result, mode Mode) *Report {
-	a := &analyzer{
-		res:    res,
-		sol:    sol,
-		mode:   mode,
-		failed: make(map[*ast.CallExpr]SiteError),
-	}
-	a.countSites()
+	return AnalyzeWith(res, sol, mode, nil)
+}
 
-	for _, f := range roots(res) {
-		sigma := store{}
-		a.fun(f, sigma, nil)
-	}
-
-	rep := &Report{Mode: mode, NumSites: a.numSites}
+func (a *analyzer) report() *Report {
+	rep := &Report{Mode: a.mode, NumSites: a.numSites}
 	for _, e := range a.failed {
 		rep.Errors = append(rep.Errors, e)
 	}
@@ -249,6 +242,18 @@ type analyzer struct {
 	mode     Mode
 	failed   map[*ast.CallExpr]SiteError
 	numSites int
+
+	// sums are the import summaries (nil: havoc imported calls).
+	sums Transfers
+	// weak forces weak updates on the listed locations regardless of
+	// linearity. Transfer probes use it for formals whose caller-side
+	// targets may be summarized storage (see transfer.go).
+	weak map[locs.Loc]bool
+	// watch, when non-nil, marks the locations whose lock-op failures
+	// are attributable to the probed formal; watchErrs counts them.
+	// Scope entry propagates watchedness from ρ to ρ′.
+	watch     map[locs.Loc]bool
+	watchErrs int
 }
 
 func (a *analyzer) countSites() {
@@ -263,6 +268,9 @@ func (a *analyzer) countSites() {
 func (a *analyzer) strongOK(l locs.Loc) bool {
 	if a.mode == ModeAllStrong {
 		return true
+	}
+	if a.weak != nil && a.weak[l] {
+		return false
 	}
 	return a.res.Locs.Linear(l)
 }
@@ -282,6 +290,9 @@ func (a *analyzer) enterBinding(b *infer.Binding, sigma store) (rho, rhoP locs.L
 		return 0, 0, false
 	}
 	sigma[rhoP] = sigma.get(rho)
+	if a.watch != nil && a.watch[rho] {
+		a.watch[rhoP] = true
+	}
 	return rho, rhoP, true
 }
 
@@ -484,6 +495,9 @@ func (a *analyzer) expr(e ast.Expr, sigma store, stack []string) store {
 		if f := a.res.Prog.Fun(e.Fun); f != nil {
 			return a.fun(f, sigma, stack)
 		}
+		if _, _, ok := ast.SplitQualified(e.Fun); ok {
+			return a.importedCall(e, sigma)
+		}
 		return sigma
 	case *ast.BinExpr:
 		sigma = a.expr(e.X, sigma, stack)
@@ -528,6 +542,9 @@ func (a *analyzer) lockOp(call *ast.CallExpr, sigma store) store {
 				Want: want,
 				Got:  got,
 			}
+		}
+		if a.watch != nil && a.watch[target] {
+			a.watchErrs++
 		}
 	}
 	if a.strongOK(target) {

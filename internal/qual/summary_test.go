@@ -148,6 +148,123 @@ func TestComposeAcrossRevisions(t *testing.T) {
 	}
 }
 
+// TestComposeEmptySummaries: the degenerate inputs the incremental
+// engine can hand Compose — no summaries at all (first revision of an
+// empty module), and summaries of a clean module (sites but no
+// errors) — produce well-formed reports, not nils or phantom errors.
+func TestComposeEmptySummaries(t *testing.T) {
+	prog, rep := analyzeProg(t, summarySrc, ModePlain)
+
+	got := Compose(prog, nil, ModePlain)
+	if got == nil || got.NumErrors() != 0 || got.NumSites != 0 {
+		t.Errorf("Compose(prog, nil) = %+v, want an empty report", got)
+	}
+	if got.Mode != ModePlain {
+		t.Errorf("empty report lost the mode tag: %v", got.Mode)
+	}
+
+	// Summaries with sites but no errors keep the site accounting.
+	clean := `
+global l: lock;
+
+fun ok() {
+    spin_lock(&l);
+    spin_unlock(&l);
+}
+`
+	cprog, crep := analyzeProg(t, clean, ModePlain)
+	if crep.NumErrors() != 0 {
+		t.Fatalf("clean fixture drifted: %d errors", crep.NumErrors())
+	}
+	cgot := Compose(cprog, Summarize(cprog, crep), ModePlain)
+	if cgot.NumErrors() != 0 || cgot.NumSites != crep.NumSites {
+		t.Errorf("clean compose = %d errors / %d sites, want 0 / %d",
+			cgot.NumErrors(), cgot.NumSites, crep.NumSites)
+	}
+
+	// And a summary list from a different module entirely (every name
+	// absent from prog) composes to the empty report.
+	foreign := Summarize(prog, rep)
+	fgot := Compose(cprog, foreign[2:3], ModePlain) // g only; cprog has no g
+	if fgot.NumErrors() != 0 || fgot.NumSites != 0 {
+		t.Errorf("foreign summary leaked into the report: %+v", fgot)
+	}
+}
+
+// TestComposeRemovedFunctionDropsItsErrors: when a function is removed
+// between the summary's revision and the target revision, its errors
+// and site count must vanish from the composed report — the
+// regression this guards against is a stale summary resurrecting
+// findings for code that no longer exists.
+func TestComposeRemovedFunctionDropsItsErrors(t *testing.T) {
+	prog, rep := analyzeProg(t, summarySrc, ModePlain)
+	sums := Summarize(prog, rep)
+
+	// Same module with g deleted; f and clean unchanged, so their
+	// (revision-1) summaries remain valid for revision 2.
+	removed := `
+global locks: lock[4];
+
+fun f(i: int) {
+    spin_lock(&locks[i]);
+    spin_unlock(&locks[i]);
+}
+
+fun clean() {
+    let x = 1;
+}
+`
+	rprog, want := analyzeProg(t, removed, ModePlain)
+	got := Compose(rprog, sums, ModePlain)
+	if got.NumErrors() != 1 || got.NumSites != want.NumSites {
+		t.Fatalf("composed = %d errors / %d sites, want 1 / %d (g's error and sites dropped)",
+			got.NumErrors(), got.NumSites, want.NumSites)
+	}
+	if !reflect.DeepEqual(keys(got), keys(want)) {
+		t.Errorf("composed report differs from direct analysis:\n got %+v\nwant %+v", keys(got), keys(want))
+	}
+}
+
+// TestComposeSelfRecursive: a self-recursive function's summary is as
+// stable under composition as any other. The analyzer has no explicit
+// fixed-point iteration for recursion: it inlines calls to
+// maxInlineDepth and havocs the store at the cut-off (see
+// analyzer.fun). Over the finite four-point lattice a true fixpoint
+// would converge without widening — the lattice has height 2, so
+// Kleene iteration terminates — and havoc-at-cutoff is the coarse
+// sound substitute: it can only move states toward Top, never
+// oscillate, so the per-function report (and hence its summary) is
+// deterministic and revision-stable, which is all Compose needs.
+func TestComposeSelfRecursive(t *testing.T) {
+	rec := `
+global l: lock;
+
+fun spin(n: int) {
+    spin_lock(&l);
+    spin(n - 1);
+    spin_unlock(&l);
+}
+`
+	prog, rep := analyzeProg(t, rec, ModePlain)
+	sums := Summarize(prog, rep)
+	if len(sums) != 1 || sums[0].Name != "spin" {
+		t.Fatalf("summaries = %+v, want exactly spin's", sums)
+	}
+
+	// Round trip against the same revision.
+	got := Compose(prog, sums, ModePlain)
+	if !reflect.DeepEqual(keys(got), keys(rep)) || got.NumSites != rep.NumSites {
+		t.Errorf("self-recursive round trip drifted:\n got %+v\nwant %+v", keys(got), keys(rep))
+	}
+
+	// And against a shifted revision, like any other function.
+	sprog, want := analyzeProg(t, "// shifted\n\n"+rec, ModePlain)
+	sgot := Compose(sprog, sums, ModePlain)
+	if !reflect.DeepEqual(keys(sgot), keys(want)) || sgot.NumSites != want.NumSites {
+		t.Errorf("self-recursive cross-revision compose drifted:\n got %+v\nwant %+v", keys(sgot), keys(want))
+	}
+}
+
 // TestComposeSkipsDepartedFunctions: a summary naming a function the
 // target revision no longer has is skipped, not misattributed.
 func TestComposeSkipsDepartedFunctions(t *testing.T) {

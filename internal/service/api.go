@@ -83,6 +83,23 @@ type AnalyzeOptions struct {
 	// Liberal checks with the liberal §5 restrict-effect semantics
 	// (check mode).
 	Liberal bool `json:"liberal,omitempty"`
+	// MultiModule links Libraries and the request module into a
+	// whole program over the import DAG and applies cross-module
+	// package summaries at imported call sites (confine/qual modes
+	// only). Off, imported calls in the module fail to resolve.
+	MultiModule bool `json:"multi_module,omitempty"`
+	// Libraries are the other modules of a multi-module program,
+	// analyzed bottom-up before the request module. They are analysis
+	// input like Source, so they live in the options and participate
+	// in the cache key canonically.
+	Libraries []LibrarySource `json:"libraries,omitempty"`
+}
+
+// LibrarySource is one library module of a multi-module request. Name
+// is the package name importers use in `import "name";`.
+type LibrarySource struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
 }
 
 // AnalyzeRequest is one module submitted for analysis.
@@ -289,7 +306,12 @@ type AnalyzeResponse struct {
 	// Process-local run information — deliberately NOT part of the
 	// wire contract, so response bytes stay deterministic and
 	// cacheable.
-	Elapsed      time.Duration        `json:"-"`
+	Elapsed time.Duration `json:"-"`
+	// Xmodule summarizes a multi-module request's whole-program pass
+	// ("modules=N;analyzed=A;failed=F"); the daemon surfaces it as
+	// the X-Lna-Xmodule response header. Empty for single-module
+	// requests. Process-local: header metadata, not wire body.
+	Xmodule      string               `json:"-"`
 	PhaseTimings []faults.PhaseTiming `json:"-"`
 	// Raw is the in-process diagnostics accumulator, kept so command
 	// line front ends can render source excerpts the wire shape does

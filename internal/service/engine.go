@@ -58,6 +58,14 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 		resp.Diagnostics = NewDiagnostics(nil, solve.Stats{})
 		return resp
 	}
+	if req.Options.MultiModule && mode != ModeConfine && mode != ModeQual {
+		resp.Failure = &faults.ModuleFailure{
+			Module: name, Kind: faults.KindError,
+			Message: fmt.Sprintf("multi_module is not supported in mode %q (confine and qual only)", mode),
+		}
+		resp.Diagnostics = NewDiagnostics(nil, solve.Stats{})
+		return resp
+	}
 
 	obs.App().Requests(mode).Inc()
 	tr := faults.NewTrace(name)
@@ -73,6 +81,7 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 		locking  *LockingReport
 		program  string
 		stats    solve.Stats
+		xmodule  string
 	)
 	fail := faults.RunBounded(ctx, name, timeout, tr, func(ctx context.Context) error {
 		if testAnalyzeHook != nil {
@@ -82,6 +91,11 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 		if req.Generate != nil {
 			tr.Enter(faults.PhaseGenerate)
 			src = req.Generate(ctx)
+		}
+		if req.Options.MultiModule {
+			var err error
+			mod, locking, program, stats, xmodule, err = analyzeMultiModule(req, name, src, mode)
+			return err
 		}
 		m, err := core.LoadModuleTraced(name, src, tr)
 		mod = m
@@ -165,6 +179,7 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 	// result, so the module (and its diagnostics) are safely ours. A
 	// timed-out module's diagnostics stay with the abandoned goroutine.
 	if fail == nil || fail.Kind != faults.KindTimeout {
+		resp.Xmodule = xmodule
 		if mod != nil {
 			resp.Raw = mod.Diags
 			resp.Diagnostics = NewDiagnostics(mod.Diags, stats)

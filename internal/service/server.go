@@ -386,6 +386,12 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Lna-Incremental", inc.Disposition)
 		entry.Incremental = inc.Disposition
 	}
+	// The whole-program pass summary of a multi_module request rides
+	// in a header for the same reason (hits skipped the pass, so it
+	// only appears on misses).
+	if resp != nil && resp.Xmodule != "" {
+		w.Header().Set("X-Lna-Xmodule", resp.Xmodule)
+	}
 	// Per-phase timings ride in a header (and the access log), never in
 	// the canonical body — cached responses must replay byte-identically.
 	if resp != nil && len(resp.PhaseTimings) > 0 {

@@ -22,8 +22,9 @@ const (
 	Comment
 
 	// Literals and identifiers.
-	Ident // foo
-	Int   // 1234
+	Ident  // foo
+	Int    // 1234
+	String // "pkg"
 
 	// Operators and delimiters.
 	Plus    // +
@@ -75,6 +76,7 @@ const (
 	KwUnit
 	KwLock
 	KwRef
+	KwImport
 
 	kindCount
 )
@@ -85,6 +87,7 @@ var kindNames = [...]string{
 	Comment:  "COMMENT",
 	Ident:    "IDENT",
 	Int:      "INT",
+	String:   "STRING",
 	Plus:     "+",
 	Minus:    "-",
 	Star:     "*",
@@ -130,6 +133,7 @@ var kindNames = [...]string{
 	KwUnit:     "unit",
 	KwLock:     "lock",
 	KwRef:      "ref",
+	KwImport:   "import",
 }
 
 // String returns the spelling of the token kind (or its class name for
@@ -159,6 +163,7 @@ var Keywords = map[string]Kind{
 	"unit":     KwUnit,
 	"lock":     KwLock,
 	"ref":      KwRef,
+	"import":   KwImport,
 }
 
 // LookupIdent classifies an identifier spelling, returning the keyword
@@ -174,8 +179,8 @@ func LookupIdent(s string) Kind {
 func (k Kind) IsKeyword() bool { return k >= KwLet && k < kindCount }
 
 // IsLiteral reports whether k carries a spelling of its own
-// (identifier or integer literal).
-func (k Kind) IsLiteral() bool { return k == Ident || k == Int }
+// (identifier, integer, or string literal).
+func (k Kind) IsLiteral() bool { return k == Ident || k == Int || k == String }
 
 // Precedence returns the binary-operator precedence of k, higher
 // binding tighter, or 0 when k is not a binary operator.

@@ -11,6 +11,15 @@ import (
 // effort) even when errors were reported; callers should consult
 // diags.HasErrors before running later phases.
 func Check(prog *ast.Program, diags *source.Diagnostics) *Info {
+	return CheckWith(prog, diags, nil)
+}
+
+// CheckWith is Check with cross-module import resolution: imports
+// supplies the exported surface of every module this one may import.
+// Import declarations naming packages absent from the map get a
+// positioned "package not found" error; qualified calls pkg.fn(...)
+// are checked against the imported signatures.
+func CheckWith(prog *ast.Program, diags *source.Diagnostics, imports ImportSigs) *Info {
 	c := &checker{
 		info: &Info{
 			Prog:         prog,
@@ -22,9 +31,11 @@ func Check(prog *ast.Program, diags *source.Diagnostics) *Info {
 			Funs:         Builtins(),
 			Structs:      make(map[string]*ast.StructDecl),
 			Globals:      make(map[string]*Symbol),
+			Imports:      make(map[string]*PkgSig),
 		},
-		diags: diags,
-		file:  prog.File,
+		diags:   diags,
+		file:    prog.File,
+		imports: imports,
 	}
 	c.collect(prog)
 	for _, f := range prog.Funs {
@@ -34,9 +45,10 @@ func Check(prog *ast.Program, diags *source.Diagnostics) *Info {
 }
 
 type checker struct {
-	info  *Info
-	diags *source.Diagnostics
-	file  *source.File
+	info    *Info
+	diags   *source.Diagnostics
+	file    *source.File
+	imports ImportSigs
 
 	scopes []map[string]*Symbol
 	cur    *FunSig // function being checked
@@ -50,6 +62,17 @@ func (c *checker) errorf(sp source.Span, format string, args ...any) {
 // Declaration collection
 
 func (c *checker) collect(prog *ast.Program) {
+	for _, im := range prog.Imports {
+		if _, dup := c.info.Imports[im.Path]; dup {
+			c.errorf(im.Sp, "duplicate import %q", im.Path)
+			continue
+		}
+		ps := c.imports[im.Path]
+		if ps == nil {
+			c.errorf(im.Sp, "cannot resolve import %q: package not found", im.Path)
+		}
+		c.info.Imports[im.Path] = ps
+	}
 	for _, s := range prog.Structs {
 		if _, dup := c.info.Structs[s.Name]; dup {
 			c.errorf(s.Sp, "struct %q redeclared", s.Name)
@@ -524,9 +547,16 @@ func (c *checker) exprOrPlace1(e ast.Expr, asPlace bool) Type {
 		return IntType
 
 	case *ast.CallExpr:
-		sig := c.info.Funs[e.Fun]
+		var sig *FunSig
+		if pkg, name, ok := ast.SplitQualified(e.Fun); ok {
+			sig = c.importedSig(e, pkg, name)
+		} else {
+			sig = c.info.Funs[e.Fun]
+			if sig == nil {
+				c.errorf(e.Sp, "call to undefined function %q", e.Fun)
+			}
+		}
 		if sig == nil {
-			c.errorf(e.Sp, "call to undefined function %q", e.Fun)
 			for _, a := range e.Args {
 				c.checkExpr(a)
 			}
@@ -548,6 +578,27 @@ func (c *checker) exprOrPlace1(e ast.Expr, asPlace bool) Type {
 		c.errorf(e.Span(), "unsupported expression %T", e)
 		return IntType
 	}
+}
+
+// importedSig resolves a qualified call pkg.name against the declared
+// imports, reporting positioned errors for undeclared packages and
+// unknown exported functions. Failed import resolution is reported at
+// the import declaration, not again at every call site.
+func (c *checker) importedSig(e *ast.CallExpr, pkg, name string) *FunSig {
+	if c.info.Prog.Import(pkg) == nil {
+		c.errorf(e.Sp, "call to %q: package %q is not imported", e.Fun, pkg)
+		return nil
+	}
+	ps := c.info.Imports[pkg]
+	if ps == nil {
+		return nil
+	}
+	sig := ps.Funs[name]
+	if sig == nil {
+		c.errorf(e.Sp, "package %q has no exported function %q", pkg, name)
+		return nil
+	}
+	return sig
 }
 
 // FieldType resolves the declared type of field name in struct decl

@@ -160,6 +160,58 @@ type FunSig struct {
 	Builtin bool
 }
 
+// PkgSig is the exported type surface of a separately-checked module:
+// the signatures of its exportable functions, keyed by name.
+type PkgSig struct {
+	Name string
+	Funs map[string]*FunSig
+}
+
+// ImportSigs maps import paths to the exported surface of the named
+// modules, as supplied by the linker (internal/modgraph). A nil map
+// resolves nothing: every import declaration then reports
+// "package not found".
+type ImportSigs map[string]*PkgSig
+
+// Exportable reports whether sig can cross a module boundary: every
+// parameter and the result must be built from int/unit/lock/ref only.
+// Module-local struct names would be meaningless to importers, so
+// functions mentioning them stay module-private.
+func Exportable(sig *FunSig) bool {
+	for _, p := range sig.Params {
+		if !portable(p) {
+			return false
+		}
+	}
+	return portable(sig.Result)
+}
+
+func portable(t Type) bool {
+	switch t := t.(type) {
+	case *Prim:
+		return true
+	case *Ref:
+		return portable(t.Elem)
+	case *Array:
+		return portable(t.Elem)
+	default: // *Named, nil
+		return false
+	}
+}
+
+// Exports returns the package signature a module offers to importers:
+// its exportable non-builtin functions. name is the module's package
+// name (the path importers use).
+func (in *Info) Exports(name string) *PkgSig {
+	ps := &PkgSig{Name: name, Funs: make(map[string]*FunSig)}
+	for fname, sig := range in.Funs {
+		if !sig.Builtin && sig.Decl != nil && Exportable(sig) {
+			ps.Funs[fname] = sig
+		}
+	}
+	return ps
+}
+
 // Info holds everything the checker learned. Later phases key their
 // own tables off the same AST nodes.
 type Info struct {
@@ -184,6 +236,10 @@ type Info struct {
 	Structs map[string]*ast.StructDecl
 	// Globals maps global names to symbols.
 	Globals map[string]*Symbol
+	// Imports maps each declared import path to the resolved package
+	// signature; entries are nil when resolution failed (the error is
+	// reported at the import declaration).
+	Imports map[string]*PkgSig
 }
 
 // TypeOf returns the checked type of e, or nil.
