@@ -13,6 +13,8 @@
 //	                          # observability-overhead benchmarks
 //	experiments -bench-gateway-json FILE
 //	                          # gateway open-loop load benchmarks
+//	experiments -bench-trace-json FILE
+//	                          # tracing overhead on the gateway relay path
 //	experiments -xmodule      # cross-module precision table (havoc vs summaries)
 //	experiments -bench-xmodule-json FILE
 //	                          # cross-module DAG scheduler + summary-cache benchmarks
@@ -72,6 +74,7 @@ func main() {
 		benchParJSON  = flag.String("bench-parallel-json", "", "run the parallel-solver benchmarks (sequential unpooled vs pooled partitioned, interleaved, at GOMAXPROCS 1/2/4), write the report as JSON to this file (- for stdout), and exit")
 		benchIncJSON  = flag.String("bench-incremental-json", "", "run the incremental re-analysis benchmarks (from-scratch vs resident cache+memo after a one-function edit, interleaved), write the report as JSON to this file (- for stdout), and exit")
 		benchGwJSON   = flag.String("bench-gateway-json", "", "run the gateway open-loop load benchmarks (1-replica vs 2-replica stacks, interleaved), write the report as JSON to this file (- for stdout), and exit")
+		benchTrJSON   = flag.String("bench-trace-json", "", "run the tracing-overhead benchmarks (gateway relay with tracing off vs on, interleaved), write the report as JSON to this file (- for stdout), and exit")
 		benchXmodJSON = flag.String("bench-xmodule-json", "", "run the cross-module DAG benchmarks (sequential vs parallel scheduler, cold vs warm summary cache, interleaved), write the report as JSON to this file (- for stdout), and exit")
 		xmodule       = flag.Bool("xmodule", false, "print the cross-module precision table (per-module havoc vs package summaries) and exit")
 		phases        = flag.Bool("phases", false, "also print the per-phase p50/p95/max timing table with the summary")
@@ -196,6 +199,29 @@ func main() {
 			os.Exit(exitError)
 		} else if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchGwJSON)
+		}
+		return
+	}
+
+	if *benchTrJSON != "" {
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+			fmt.Fprintln(progress, "running tracing-overhead benchmarks (interleaved off/on pairs; this takes a minute)...")
+		}
+		data, err := experiments.RunTraceBenchJSON(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		}
+		data = append(data, '\n')
+		if *benchTrJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*benchTrJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitError)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchTrJSON)
 		}
 		return
 	}

@@ -1,0 +1,178 @@
+package main
+
+// Process-level fleet observability tests: a real gateway over two
+// real `lna serve` replicas, traced end to end, with the merged
+// Chrome trace assembled by the real `lna trace fetch` subcommand.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"localalias/internal/service"
+)
+
+// chromeDoc is the merged trace's schema. Decoding with
+// DisallowUnknownFields makes this the golden structural contract: a
+// field added to (or renamed in) the export format fails here, not in
+// a trace viewer months later.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestFleetTraceSmoke is the CI fleet-trace exercise: one analyze
+// request through a two-replica fleet, then `lna trace fetch` must
+// merge the gateway's and the serving replica's fragments into one
+// Chrome trace whose replica spans parent under the gateway's attempt
+// span. `lna top` must render the same fleet in one shot.
+func TestFleetTraceSmoke(t *testing.T) {
+	bins := binaries(t)
+	baseA, shutdownA := startServe(t, bins["lna"])
+	defer shutdownA()
+	baseB, shutdownB := startServe(t, bins["lna"])
+	defer shutdownB()
+	gw, shutdownGW := startGateway(t, bins["lna"], []string{baseA, baseB})
+	defer shutdownGW()
+
+	// One traced request; the response header carries the fleet-wide
+	// trace ID (gateway and replica share it via propagation).
+	file := filepath.Join(fixtureDir, "clean_annotated.mc")
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(service.AnalyzeRequest{
+		Module:  "fleet-traced.mc",
+		Source:  string(src),
+		Options: service.AnalyzeOptions{Mode: service.ModeCheck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(gw+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, respBody)
+	}
+	traceID := resp.Header.Get("X-Lna-Trace")
+	if traceID == "" {
+		t.Fatal("response carries no X-Lna-Trace header")
+	}
+
+	// Assemble the distributed trace with the real subcommand.
+	out := filepath.Join(t.TempDir(), "fleet.trace.json")
+	stdout, stderr, code := run(t, bins["lna"], "trace", "-remote", gw, "-o", out, "fetch", traceID)
+	if code != service.ExitClean {
+		t.Fatalf("lna trace fetch exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "2 fragment(s)") {
+		t.Errorf("trace fetch merged %q, want 2 fragments (gateway + serving replica)", strings.TrimSpace(stdout))
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc chromeDoc
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("merged trace does not match the golden schema: %v\n%s", err, data)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	// Structural assertions: two processes, spans from both, and the
+	// replica's analyze span parented under a gateway attempt span.
+	pids := map[int]bool{}
+	procs := map[int]string{}
+	attempts := map[string]int{} // span_id -> pid
+	var analyzeParent string
+	var analyzePid int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs[ev.Pid], _ = ev.Args["name"].(string)
+		case ev.Ph == "X":
+			pids[ev.Pid] = true
+			if tid, ok := ev.Args["trace_id"].(string); !ok || tid != traceID {
+				t.Fatalf("event %q carries trace_id %v, want %s", ev.Name, ev.Args["trace_id"], traceID)
+			}
+			if ev.Name == "attempt" {
+				if id, ok := ev.Args["span_id"].(string); ok {
+					attempts[id] = ev.Pid
+				}
+			}
+			if ev.Name == "analyze" {
+				analyzeParent, _ = ev.Args["parent_id"].(string)
+				analyzePid = ev.Pid
+			}
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("merged trace spans %d pids, want 2 (gateway + replica)", len(pids))
+	}
+	var haveGW, haveRep bool
+	for _, name := range procs {
+		if strings.HasPrefix(name, "gateway") {
+			haveGW = true
+		}
+		if strings.HasPrefix(name, "replica") {
+			haveRep = true
+		}
+	}
+	if !haveGW || !haveRep {
+		t.Fatalf("process names %v, want a gateway and a replica", procs)
+	}
+	attemptPid, ok := attempts[analyzeParent]
+	if !ok {
+		t.Fatalf("replica analyze span's parent %q is not a gateway attempt span (attempts: %v)",
+			analyzeParent, attempts)
+	}
+	if attemptPid == analyzePid {
+		t.Fatal("attempt and analyze spans share a pid — the cross-process link collapsed")
+	}
+
+	// lna top: the one-shot fleet table names both replicas as healthy.
+	stdout, stderr, code = run(t, bins["lna"], "top", "-remote", gw)
+	if code != service.ExitClean {
+		t.Fatalf("lna top exit %d\nstderr: %s", code, stderr)
+	}
+	for _, base := range []string{baseA, baseB} {
+		if !strings.Contains(stdout, strings.TrimPrefix(base, "http://")) {
+			t.Errorf("lna top output does not list backend %s:\n%s", base, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "2/2 backends healthy") {
+		t.Errorf("lna top output does not report 2/2 healthy:\n%s", stdout)
+	}
+
+	// Against a plain daemon, top degrades to that daemon's stats.
+	stdout, stderr, code = run(t, bins["lna"], "top", "-remote", baseA)
+	if code != service.ExitClean {
+		t.Fatalf("lna top (daemon) exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "daemon "+baseA) {
+		t.Errorf("lna top against a daemon should degrade to its stats:\n%s", stdout)
+	}
+}

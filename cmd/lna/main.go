@@ -16,6 +16,13 @@
 //	                        checks, retries, hedging, admission control
 //	lna bench               open-loop load generator against a daemon
 //	                        or gateway (-remote), reporting p50/p95/p99
+//	lna trace fetch ID      assemble one distributed trace: pull the
+//	                        fragment from -remote plus (via /v1/fleet)
+//	                        every replica's fragment, merged into one
+//	                        Chrome trace_event file (-o FILE)
+//	lna top                 one-shot fleet status table from a
+//	                        gateway's /v1/fleet (-remote; degrades to
+//	                        /v1/stats against a plain daemon)
 //
 // Flags may appear before or after the subcommand (`lna -json qual
 // f.mc` and `lna qual -json f.mc` are equivalent):
@@ -106,7 +113,7 @@ import (
 
 // subcommands names every lna subcommand, for validation and the
 // misplaced-flag error.
-var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing", "serve", "gateway", "bench"}
+var subcommands = []string{"check", "infer", "confine", "qual", "fmt", "run", "timing", "serve", "gateway", "bench", "trace", "top"}
 
 // analysisModes are the subcommands served by the shared service
 // engine (and therefore by `lna serve`).
@@ -174,6 +181,7 @@ type options struct {
 	requestTimeout time.Duration
 	logFormat      string
 	debugAddr      string
+	traceEntries   int
 
 	remote string
 
@@ -187,6 +195,8 @@ type options struct {
 	duration     time.Duration
 	replay       bool
 	benchModules int
+
+	out string
 }
 
 func main() {
@@ -223,6 +233,7 @@ func main() {
 	fs.DurationVar(&opt.requestTimeout, "request-timeout", service.DefaultRequestTimeout, "serve: per-module analysis deadline")
 	fs.StringVar(&opt.logFormat, "log-format", "text", "serve: access-log rendering (text|json|off)")
 	fs.StringVar(&opt.debugAddr, "debug-addr", "", "serve: optional pprof+metrics listener (empty = off)")
+	fs.IntVar(&opt.traceEntries, "trace-entries", 0, "serve/gateway: in-memory ring of completed traces for /v1/trace/{id} (0 = default 256; negative disables tracing)")
 	fs.StringVar(&opt.remote, "remote", "", "send the analysis to this daemon or gateway base URL instead of running in-process (check/infer/confine/qual; bench target)")
 	fs.StringVar(&opt.backends, "backends", "", "gateway: comma-separated backend base URLs (required)")
 	fs.DurationVar(&opt.healthInterval, "health-interval", gateway.DefaultHealthInterval, "gateway: period between backend health sweeps")
@@ -233,6 +244,7 @@ func main() {
 	fs.DurationVar(&opt.duration, "duration", benchDuration, "bench: how long to schedule arrivals")
 	fs.BoolVar(&opt.replay, "replay", false, "bench: warm the target with one untimed pass first, so the run measures replayed (cache-hit) traffic")
 	fs.IntVar(&opt.benchModules, "modules", 120, "bench: corpus modules in the replayed workload (0 = all)")
+	fs.StringVar(&opt.out, "o", "", "trace fetch: output file (default <id>.trace.json)")
 	if err := fs.Parse(rest); err != nil {
 		// The flag package has already printed the offending flag and
 		// the flag set's usage.
@@ -247,6 +259,10 @@ func main() {
 		os.Exit(runGateway(opt))
 	case cmd == "bench":
 		os.Exit(runBench(opt))
+	case cmd == "trace":
+		os.Exit(runTraceFetch(opt, args))
+	case cmd == "top":
+		os.Exit(runTop(opt))
 	case cmd == "timing":
 		if len(args) < 1 {
 			usage()
@@ -449,6 +465,7 @@ func runServe(opt options) int {
 		MemoEntries:    opt.memoEntries,
 		QueueDepth:     opt.queueDepth,
 		RequestTimeout: opt.requestTimeout,
+		TraceEntries:   opt.traceEntries,
 	}
 	switch opt.logFormat {
 	case "off":
@@ -550,5 +567,5 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing|serve|gateway|bench> [flags] [FILE] [args...]`)
+	fmt.Fprintln(os.Stderr, `usage: lna [flags] <check|infer|confine|qual|fmt|run|timing|serve|gateway|bench|trace|top> [flags] [FILE] [args...]`)
 }

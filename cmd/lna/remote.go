@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -82,14 +83,26 @@ func runGateway(opt options) int {
 			backends = append(backends, u)
 		}
 	}
-	g, err := gateway.New(gateway.Options{
+	o := gateway.Options{
 		Backends:       backends,
 		HealthInterval: opt.healthInterval,
 		HedgeAfter:     opt.hedgeAfter,
 		Retries:        opt.retries,
 		MaxInflight:    opt.maxInflight,
-		AccessLog:      os.Stderr,
-	})
+		TraceEntries:   opt.traceEntries,
+	}
+	// The gateway honours the same -log-format contract as serve.
+	switch opt.logFormat {
+	case "off":
+		// no access log
+	case service.LogText, service.LogJSON:
+		o.AccessLog = os.Stderr
+		o.LogFormat = opt.logFormat
+	default:
+		fmt.Fprintf(os.Stderr, "lna: gateway: unknown -log-format %q (want text|json|off)\n", opt.logFormat)
+		return service.ExitUsage
+	}
+	g, err := gateway.New(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lna: gateway:", err)
 		return service.ExitUsage
@@ -160,6 +173,18 @@ func runBench(opt options) int {
 			map[bool]string{true: ", warm replay", false: ""}[opt.replay])
 		fmt.Printf("  completed %d (%.1f rps)  rejected %d  errors %d  shed %d\n",
 			rep.Completed, rep.AchievedRPS, rep.Rejected, rep.Errors, rep.Shed)
+		if len(rep.ErrorsByCode) > 0 {
+			codes := make([]string, 0, len(rep.ErrorsByCode))
+			for code := range rep.ErrorsByCode {
+				codes = append(codes, code)
+			}
+			sort.Strings(codes)
+			parts := make([]string, 0, len(codes))
+			for _, code := range codes {
+				parts = append(parts, fmt.Sprintf("%s=%d", code, rep.ErrorsByCode[code]))
+			}
+			fmt.Printf("  errors by code: %s\n", strings.Join(parts, "  "))
+		}
 		fmt.Printf("  cache: %d hits / %d misses (hit rate %.2f)\n",
 			rep.CacheHits, rep.CacheMisses, rep.HitRate)
 		fmt.Printf("  latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f\n",

@@ -82,6 +82,11 @@ type Report struct {
 	Completed int `json:"completed"`
 	Rejected  int `json:"rejected,omitempty"`
 	Errors    int `json:"errors,omitempty"`
+	// ErrorsByCode splits every non-200 outcome by its wire error code
+	// (queue_full, backend_unavailable, draining, ...), with transport
+	// failures under "transport" — so a run against a gateway shows
+	// whether pressure came from edge admission or from the backends.
+	ErrorsByCode map[string]int `json:"errors_by_code,omitempty"`
 
 	// AchievedRPS is completed responses per second of run time.
 	AchievedRPS float64 `json:"achieved_rps"`
@@ -145,7 +150,14 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		hits, misses                atomic.Int64
 		sem                         = make(chan struct{}, maxOut)
 		wg                          sync.WaitGroup
+		codeMu                      sync.Mutex
+		byCode                      = make(map[string]int)
 	)
+	countCode := func(code string) {
+		codeMu.Lock()
+		byCode[code]++
+		codeMu.Unlock()
+	}
 	fire := func(req *service.AnalyzeRequest) {
 		defer wg.Done()
 		defer func() { <-sem }()
@@ -165,8 +177,14 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			var apiErr *client.APIError
 			if errors.As(err, &apiErr) {
 				rejected.Add(1)
+				code := "unknown"
+				if apiErr.Err != nil && apiErr.Err.Code != "" {
+					code = apiErr.Err.Code
+				}
+				countCode(code)
 			} else {
 				failed.Add(1)
+				countCode("transport")
 			}
 		}
 	}
@@ -231,6 +249,9 @@ done:
 	}
 	if rep.Completed > 0 {
 		rep.HitRate = round3(float64(rep.CacheHits) / float64(rep.Completed))
+	}
+	if len(byCode) > 0 {
+		rep.ErrorsByCode = byCode
 	}
 	return rep, nil
 }

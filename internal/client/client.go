@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"localalias/internal/obs"
 	"localalias/internal/service"
 )
 
@@ -184,12 +185,20 @@ func (r *Result) WireError() *service.WireError {
 // transport-level only (connection refused, context cancelled); any
 // HTTP status comes back as a Result. This is the primitive the
 // gateway's ring-aware retry and hedging are built on.
+//
+// When ctx carries an active trace span (obs.ContextWithSpan), the
+// request is stamped with the X-Lna-Trace-Context header, so the
+// receiving server parents its spans under the caller's — this single
+// line is the whole client side of distributed tracing.
 func (c *Client) RoundTrip(ctx context.Context, path string, body []byte) (*Result, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc, ok := obs.TraceContextFromContext(ctx); ok {
+		req.Header.Set(obs.TraceContextHeader, sc.String())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -363,6 +372,33 @@ func (c *Client) Health(ctx context.Context) (*service.HealthStatus, error) {
 		return nil, fmt.Errorf("decoding health: %w", err)
 	}
 	return &hs, nil
+}
+
+// GetRaw performs one GET round trip against an arbitrary v1 path
+// (e.g. "/v1/fleet"), returning the raw Result even for non-2xx
+// statuses. Callers that know the endpoint's JSON shape decode it
+// themselves; this keeps gateway-only types out of the client.
+func (c *Client) GetRaw(ctx context.Context, path string) (*Result, error) {
+	return c.get(ctx, path)
+}
+
+// Trace fetches one process's fragment of a trace from
+// /v1/trace/{id}. An unknown ID is an *APIError with a not_found
+// code; callers assembling a fleet-wide trace treat that as "this
+// process saw nothing", not as failure.
+func (c *Client) Trace(ctx context.Context, id string) (*obs.TraceExport, error) {
+	res, err := c.get(ctx, "/v1/trace/"+id)
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK() {
+		return nil, &APIError{Status: res.Status, Err: res.WireError()}
+	}
+	var ex obs.TraceExport
+	if err := json.Unmarshal(res.Body, &ex); err != nil {
+		return nil, fmt.Errorf("decoding trace export: %w", err)
+	}
+	return &ex, nil
 }
 
 // Stats fetches the /v1/stats snapshot.

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceBenchReportSchema guards the committed BENCH_trace.json
+// against drift: it must parse into the current report shape with no
+// unknown fields, cover every interleaved off/on pair, carry the
+// regeneration command, and show the acceptance property tracing was
+// budgeted for — median warm-relay overhead under the 2% ceiling. A
+// failure means the harness changed without regenerating the artifact
+// (go run ./cmd/experiments -bench-trace-json BENCH_trace.json).
+func TestTraceBenchReportSchema(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_trace.json"))
+	if err != nil {
+		t.Fatalf("reading committed benchmark report: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep TraceBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_trace.json does not match the current report shape: %v", err)
+	}
+	if rep.Modules != traceBenchModules || rep.TargetRPS != traceBenchRPS || rep.Replicas != traceBenchReplicas {
+		t.Errorf("report covers %d modules at %v rps over %d replicas; harness uses %d at %v over %d",
+			rep.Modules, rep.TargetRPS, rep.Replicas,
+			traceBenchModules, float64(traceBenchRPS), traceBenchReplicas)
+	}
+	if !bytes.Contains(data, []byte("go run ./cmd/experiments -bench-trace-json")) {
+		t.Error("report description lost the regeneration command")
+	}
+	if len(rep.Pairs) != traceBenchRounds {
+		t.Errorf("%d pairs recorded, want %d", len(rep.Pairs), traceBenchRounds)
+	}
+	for i, p := range rep.Pairs {
+		if p.Off.Tracing || !p.On.Tracing {
+			t.Errorf("pair %d: tracing flags off=%v on=%v, want false/true",
+				i, p.Off.Tracing, p.On.Tracing)
+		}
+		for _, run := range []TraceBenchRun{p.Off, p.On} {
+			if run.Report.Completed == 0 || run.Report.Errors != 0 {
+				t.Errorf("pair %d (tracing=%v): completed=%d errors=%d",
+					i, run.Tracing, run.Report.Completed, run.Report.Errors)
+			}
+			if run.Report.HitRate != 1 {
+				t.Errorf("pair %d (tracing=%v): warm replay hit rate %v, want 1",
+					i, run.Tracing, run.Report.HitRate)
+			}
+			if run.Report.LatencyMsP50 <= 0 || run.Report.LatencyMsP99 < run.Report.LatencyMsP50 {
+				t.Errorf("pair %d (tracing=%v): implausible quantiles p50=%v p99=%v",
+					i, run.Tracing, run.Report.LatencyMsP50, run.Report.LatencyMsP99)
+			}
+		}
+	}
+	if rep.OffP50MedianMs <= 0 || rep.OnP50MedianMs <= 0 {
+		t.Fatalf("medians off=%v on=%v, want positive", rep.OffP50MedianMs, rep.OnP50MedianMs)
+	}
+	if rep.MaxOverheadPct != TraceBenchMaxOverheadPct {
+		t.Errorf("report ceiling %v%%, harness uses %v%%", rep.MaxOverheadPct, TraceBenchMaxOverheadPct)
+	}
+	// The acceptance criterion: tracing costs the median warm relay
+	// less than the budgeted ceiling.
+	if rep.OverheadPct >= rep.MaxOverheadPct {
+		t.Errorf("tracing overhead %v%% is at or above the %v%% ceiling — regenerate and investigate",
+			rep.OverheadPct, rep.MaxOverheadPct)
+	}
+}

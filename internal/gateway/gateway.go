@@ -66,6 +66,13 @@ type Options struct {
 	RequestTimeout time.Duration
 	// AccessLog, when non-nil, receives one line per proxied request.
 	AccessLog io.Writer
+	// LogFormat selects the access-log rendering (service.LogText or
+	// service.LogJSON; "" = text).
+	LogFormat string
+	// TraceEntries sizes the ring of recently-completed request traces
+	// kept for /v1/trace/{id} (0 = service.DefaultTraceEntries;
+	// negative disables tracing entirely — the benchmark's "off" arm).
+	TraceEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +96,9 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = DefaultRequestTimeout
 	}
+	if o.TraceEntries == 0 {
+		o.TraceEntries = service.DefaultTraceEntries
+	}
 	return o
 }
 
@@ -102,6 +112,13 @@ type Gateway struct {
 	pool     *pool
 	inflight chan struct{}
 
+	// log and traces mirror the daemon's observability surface: one
+	// access line per proxied request, and a bounded ring of completed
+	// request traces behind /v1/trace/{id}. traces is nil when
+	// Options.TraceEntries is negative (tracing off).
+	log    *service.AccessLogger
+	traces *obs.TraceRing
+
 	requests atomic.Uint64 // single-module requests admitted
 	batches  atomic.Uint64 // batch requests admitted
 	rejected atomic.Uint64 // 429s + 503s answered locally
@@ -109,10 +126,12 @@ type Gateway struct {
 	hedges   atomic.Uint64 // hedge requests launched
 	hedgeWon atomic.Uint64 // hedges that beat the owner
 
-	mRequests *obs.Counter
-	mRejected *obs.Counter
-	mRetries  *obs.Counter
-	mHedges   *obs.Counter
+	mRequests  *obs.Counter
+	mRejected  *obs.Counter
+	mRetries   *obs.Counter
+	mHedges    *obs.Counter
+	mHedgeWins *obs.Counter
+	mHedgeLoss *obs.Counter
 }
 
 // New builds a Gateway over opts.Backends. The health sweep starts
@@ -126,6 +145,8 @@ func New(opts Options) (*Gateway, error) {
 		opts:     o,
 		pool:     newPool(o.Backends, o.Vnodes, o.HealthInterval, o.HealthTimeout),
 		inflight: make(chan struct{}, o.MaxInflight),
+		log:      service.NewAccessLogger(o.AccessLog, o.LogFormat),
+		traces:   obs.NewTraceRing(o.TraceEntries),
 	}
 	reg := obs.Default()
 	g.mRequests = reg.Counter("lna_gateway_requests_total",
@@ -136,11 +157,63 @@ func New(opts Options) (*Gateway, error) {
 		"Forward attempts rerouted to a ring successor after a backend failure.")
 	g.mHedges = reg.Counter("lna_gateway_hedges_total",
 		"Hedge requests launched against a key's ring successor.")
+	g.mHedgeWins = reg.Counter("lna_gateway_hedge_wins_total",
+		"Hedge races the successor's duplicate won.")
+	g.mHedgeLoss = reg.Counter("lna_gateway_hedge_losses_total",
+		"Hedge races the owner won anyway (the duplicate was wasted).")
 	reg.GaugeFunc("lna_gateway_backends_healthy",
 		"Backends currently in the gateway's hash ring.",
 		func() int64 { return int64(g.pool.healthyCount()) })
+	reg.GaugeFunc("lna_gateway_ring_size",
+		"Virtual-node points on the current hash ring.",
+		func() int64 { return int64(g.pool.ringSize()) })
+	for _, b := range g.pool.backends {
+		b := b
+		reg.GaugeFunc("lna_gateway_backend_healthy",
+			"Per-backend ring membership (1 = in the ring, 0 = out).",
+			func() int64 {
+				if b.Healthy() {
+					return 1
+				}
+				return 0
+			}, "backend", b.URL)
+	}
+	// Health sweeps that change the ring leave a trace of their own, so
+	// an operator can see which probe flipped a backend and how long
+	// the sweep took. Unchanged sweeps (the steady state, one every
+	// HealthInterval) would only evict real request traces from the
+	// ring, so they are not kept.
+	g.pool.onSweep = func(start time.Time, dur time.Duration, probes []sweepProbe, changed bool) {
+		if !changed || g.traces == nil {
+			return
+		}
+		tr := obs.NewTrace("health-sweep")
+		tr.Add("health_sweep", "gateway", start, dur,
+			"probes", strconv.Itoa(len(probes)), "changed", "true")
+		for _, p := range probes {
+			kv := []string{"backend", p.url, "healthy", strconv.FormatBool(p.healthy)}
+			if p.detail != "" {
+				kv = append(kv, "detail", p.detail)
+			}
+			tr.Add("probe", "health", p.start, p.dur, kv...)
+		}
+		g.traces.Put(tr)
+	}
 	return g, nil
 }
+
+// newTrace starts a request trace under a propagated context, or
+// returns nil (every span call no-ops) when tracing is disabled.
+func (g *Gateway) newTrace(module string, sc obs.SpanContext) *obs.Trace {
+	if g.traces == nil {
+		return nil
+	}
+	return obs.NewTraceContext(module, sc)
+}
+
+// Traces exposes the gateway's trace ring (nil when tracing is off)
+// for embedded use and tests.
+func (g *Gateway) Traces() *obs.TraceRing { return g.traces }
 
 // Start launches the periodic health sweep (ListenAndServe does this
 // for the CLI; embedded users — tests, the bench harness — call it
@@ -176,7 +249,37 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/health", g.handleHealth)
 	mux.HandleFunc("/v1/stats", g.handleStats)
 	mux.HandleFunc("/v1/metrics", g.handleMetrics)
+	mux.HandleFunc("/v1/trace/", g.handleTrace)
+	mux.HandleFunc("/v1/fleet", g.handleFleet)
 	return mux
+}
+
+// statusRecorder captures the status a handler wrote, for the access
+// log (the service package keeps its equivalent unexported).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusRecorder) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // readBody reads and bounds one POST body.
@@ -214,18 +317,52 @@ func (f fwdResult) done() bool {
 	return true
 }
 
+// attemptOutcome classifies one forward attempt for the
+// lna_gateway_attempts_total{backend,outcome} metric and the attempt
+// span: ok, error (a relayable non-2xx), retryable (429/502/503/504),
+// transport, or canceled (a hedge loser or a departed client).
+func attemptOutcome(f fwdResult, ctxErr error) string {
+	switch {
+	case f.err != nil && ctxErr != nil:
+		return "canceled"
+	case f.err != nil:
+		return "transport"
+	case !f.done():
+		return "retryable"
+	case f.res.Status >= 400:
+		return "error"
+	}
+	return "ok"
+}
+
 // tryOne forwards body to one backend with the per-request timeout.
 // Transport failures mark the backend unhealthy immediately — unless
 // the context was cancelled (a hedge loser or a departed client says
 // nothing about backend health).
+//
+// Each attempt gets its own span, opened with an explicit parent
+// because hedged attempts run concurrently. The attempt span's ID is
+// what the context carries into RoundTrip, so the propagation header
+// names it — the replica's whole trace fragment hangs off exactly the
+// attempt that produced it, and a hedge loser's fragment stays
+// distinguishable from the winner's.
 func (g *Gateway) tryOne(ctx context.Context, path string, body []byte, b *Backend) fwdResult {
 	reqCtx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
 	defer cancel()
+	tr, parent := obs.SpanFromContext(ctx)
+	att := tr.StartChild(parent, "attempt", "gateway")
+	reqCtx = obs.ContextWithSpan(reqCtx, tr, att.ID())
 	res, err := b.client.RoundTrip(reqCtx, path, body)
+	f := fwdResult{res: res, b: b, err: err}
+	out := attemptOutcome(f, ctx.Err())
+	obs.Default().Counter("lna_gateway_attempts_total",
+		"Forward attempts by backend and outcome (ok|error|retryable|transport|canceled).",
+		"backend", b.URL, "outcome", out).Inc()
 	if err != nil {
 		if ctx.Err() == nil {
 			g.pool.markUnhealthy(b, fmt.Sprintf("forward failed: %v", err))
 		}
+		att.End("backend", b.URL, "outcome", out)
 		return fwdResult{b: b, err: err}
 	}
 	if res.Status == http.StatusServiceUnavailable {
@@ -234,7 +371,8 @@ func (g *Gateway) tryOne(ctx context.Context, path string, body []byte, b *Backe
 		g.pool.markUnhealthy(b, fmt.Sprintf("backend answered %d", res.Status))
 	}
 	b.forwarded.Add(1)
-	return fwdResult{res: res, b: b}
+	att.End("backend", b.URL, "outcome", out, "status", strconv.Itoa(res.Status))
+	return f
 }
 
 // forward routes body along candidates until an attempt produces a
@@ -243,13 +381,18 @@ func (g *Gateway) tryOne(ctx context.Context, path string, body []byte, b *Backe
 // attempts spent; err is non-nil only when every candidate failed at
 // the transport level.
 func (g *Gateway) forward(ctx context.Context, path string, body []byte, candidates []*Backend) (*client.Result, *Backend, int, error) {
+	tr, parent := obs.SpanFromContext(ctx)
 	attempts := 0
 	next := 0 // index of the next unused candidate
 
 	// Hedged first attempt: race the owner against the first successor
 	// if the owner is slow. Any losing attempt is cancelled.
 	if g.opts.HedgeAfter > 0 && len(candidates) >= 2 {
-		raceCtx, cancelRace := context.WithCancel(ctx)
+		// The race gets a span of its own; both attempts parent under
+		// it, so the merged trace shows the overlap and which racer won
+		// (the loser's attempt closes with outcome "canceled").
+		race := tr.StartChild(parent, "hedge_race", "gateway")
+		raceCtx, cancelRace := context.WithCancel(obs.ContextWithSpan(ctx, tr, race.ID()))
 		defer cancelRace()
 		ch := make(chan fwdResult, 2)
 		launch := func(b *Backend) {
@@ -278,21 +421,42 @@ func (g *Gateway) forward(ctx context.Context, path string, body []byte, candida
 				inFlight--
 				if f.done() {
 					cancelRace() // the loser's attempt is moot
-					if hedged && f.b == candidates[1] {
-						g.hedgeWon.Add(1)
+					winner := "owner"
+					if hedged {
+						if f.b == candidates[1] {
+							g.hedgeWon.Add(1)
+							g.mHedgeWins.Inc()
+							winner = "hedge"
+						} else {
+							g.mHedgeLoss.Inc()
+						}
 					}
+					race.End("winner", f.b.URL, "role", winner,
+						"hedged", strconv.FormatBool(hedged))
 					return f.res, f.b, attempts, nil
 				}
 				last = f
 			case <-ctx.Done():
+				race.End("outcome", "canceled")
 				return nil, nil, attempts, ctx.Err()
 			}
 		}
 		// Both racers failed; fall through to the sequential walk over
 		// the remaining candidates.
+		race.End("outcome", "exhausted", "hedged", strconv.FormatBool(hedged))
 		_ = last
 	}
 
+	// The retry walk opens lazily: only once a reroute actually happens
+	// is there a walk worth a span, and the rerouted attempts parent
+	// under it.
+	var walk *obs.SpanScope
+	walkCtx := ctx
+	defer func() {
+		if walk != nil {
+			walk.End("attempts", strconv.Itoa(attempts))
+		}
+	}()
 	var lastErr error = errors.New("no candidate backends")
 	var lastRes *client.Result
 	var lastB *Backend
@@ -300,9 +464,13 @@ func (g *Gateway) forward(ctx context.Context, path string, body []byte, candida
 		if attempts > 0 {
 			g.retries.Add(1)
 			g.mRetries.Inc()
+			if walk == nil && tr != nil {
+				walk = tr.StartChild(parent, "retry_walk", "gateway")
+				walkCtx = obs.ContextWithSpan(ctx, tr, walk.ID())
+			}
 		}
 		attempts++
-		f := g.tryOne(ctx, path, body, candidates[next])
+		f := g.tryOne(walkCtx, path, body, candidates[next])
 		if f.done() {
 			return f.res, f.b, attempts, nil
 		}
@@ -330,7 +498,7 @@ func relay(w http.ResponseWriter, res *client.Result, b *Backend, attempts int) 
 	for _, h := range []string{
 		"Content-Type", "Retry-After",
 		"X-Lna-Cache", "X-Lna-Cache-Key", "X-Lna-Trace",
-		"X-Lna-Incremental", "X-Lna-Phases",
+		"X-Lna-Incremental", "X-Lna-Xmodule", "X-Lna-Phases",
 	} {
 		if v := res.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -342,7 +510,15 @@ func relay(w http.ResponseWriter, res *client.Result, b *Backend, attempts int) 
 	_, _ = w.Write(res.Body)
 }
 
-func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (g *Gateway) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &statusRecorder{ResponseWriter: rw}
+	entry := service.AccessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
+	defer func() {
+		entry.Status = w.Status()
+		entry.DurMs = float64(time.Since(start)) / float64(time.Millisecond)
+		g.log.Log(entry)
+	}()
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -358,10 +534,29 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		service.WriteWireError(w, werr.Code, "%s", werr.Message)
 		return
 	}
+	entry.Module, entry.Mode = req.Module, req.Options.Mode
+
+	// The gateway's trace adopts a caller-propagated context the same
+	// way a replica adopts the gateway's, so a client that stamps
+	// X-Lna-Trace-Context sees one trace end to end. The root relay
+	// span's ID rides the forwarding context: every attempt parents
+	// under it, and RoundTrip re-stamps the header per attempt.
+	sc, _ := obs.ParseTraceContext(r.Header.Get(obs.TraceContextHeader))
+	tr := g.newTrace(req.Module, sc)
+	entry.Trace = tr.ID()
+	span := tr.StartSpan("relay", "request")
+	defer func() {
+		span.End("module", req.Module, "status", strconv.Itoa(w.Status()))
+		g.traces.Put(tr)
+	}()
+
+	admit := tr.Start("admission", "gateway")
 	select {
 	case g.inflight <- struct{}{}:
+		admit("outcome", "admitted")
 		defer func() { <-g.inflight }()
 	default:
+		admit("outcome", "rejected")
 		g.rejected.Add(1)
 		g.mRejected.Inc()
 		w.Header().Set("Retry-After", "1")
@@ -374,8 +569,10 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	// Route by the same content-hash key the backends cache under —
 	// the whole point of the tier: one key, one replica, one warm cache.
+	route := tr.Start("route", "gateway")
 	key := service.CacheKey(&req)
 	candidates := g.pool.candidates(key, 1+g.opts.Retries)
+	route("key", key, "candidates", strconv.Itoa(len(candidates)))
 	if len(candidates) == 0 {
 		g.rejected.Add(1)
 		g.mRejected.Inc()
@@ -385,7 +582,8 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// The original body bytes are forwarded verbatim: the gateway never
 	// re-encodes a request, so backend-side validation, hashing, and
 	// caching see exactly what the client sent.
-	res, b, attempts, err := g.forward(r.Context(), "/v1/analyze", body, candidates)
+	ctx := obs.ContextWithSpan(r.Context(), tr, span.ID())
+	res, b, attempts, err := g.forward(ctx, "/v1/analyze", body, candidates)
 	if err != nil {
 		g.rejected.Add(1)
 		g.mRejected.Inc()
@@ -394,6 +592,11 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	relay(w, res, b, attempts)
+	entry.Cache = w.Header().Get("X-Lna-Cache")
+	entry.Incremental = w.Header().Get("X-Lna-Incremental")
+	entry.Xmodule = w.Header().Get("X-Lna-Xmodule")
+	entry.Backend = b.URL
+	entry.Attempts = attempts
 }
 
 // batchGroup is one backend's share of a batch: the indices (into the
@@ -403,7 +606,15 @@ type batchGroup struct {
 	idx []int
 }
 
-func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (g *Gateway) handleBatch(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &statusRecorder{ResponseWriter: rw}
+	entry := service.AccessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
+	defer func() {
+		entry.Status = w.Status()
+		entry.DurMs = float64(time.Since(start)) / float64(time.Millisecond)
+		g.log.Log(entry)
+	}()
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -424,6 +635,19 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	g.batches.Add(1)
 	g.mRequests.Inc()
+
+	// One gateway-side trace per batch; the per-group forward attempts
+	// run concurrently, so they parent under the relay span explicitly
+	// via the context rather than the default-parent stack.
+	sc, _ := obs.ParseTraceContext(r.Header.Get(obs.TraceContextHeader))
+	tr := g.newTrace("batch", sc)
+	entry.Trace = tr.ID()
+	span := tr.StartSpan("relay", "request")
+	defer func() {
+		span.End("modules", strconv.Itoa(len(batch.Requests)))
+		g.traces.Put(tr)
+	}()
+	ctx := obs.ContextWithSpan(r.Context(), tr, span.ID())
 
 	out := service.BatchResponse{Results: make([]service.BatchEntry, len(batch.Requests))}
 	// Edge admission, mirroring the daemon: inadmissible entries get
@@ -475,7 +699,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				subBody, err := json.Marshal(sub)
 				if err == nil {
-					f := g.tryOne(r.Context(), "/v1/batch", subBody, grp.b)
+					f := g.tryOne(ctx, "/v1/batch", subBody, grp.b)
 					if f.done() && f.res.Status == http.StatusOK {
 						var subOut service.BatchResponse
 						if jerr := json.Unmarshal(f.res.Body, &subOut); jerr == nil && len(subOut.Results) == len(grp.idx) {
@@ -520,6 +744,9 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out.Summary.Rejected++
 	}
 	out.Summary.Modules = len(batch.Requests)
+	entry.Modules = out.Summary.Modules
+	entry.Hits = out.Summary.CacheHits
+	entry.Misses = out.Summary.CacheMisses
 
 	w.Header().Set("Content-Type", "application/json")
 	dispositions := make([]string, len(out.Results))
@@ -595,6 +822,79 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(g.Stats())
+}
+
+// handleTrace serves the gateway's fragment of a recorded trace; the
+// daemon serves its own under the same route, and the trace fetcher
+// merges the two views.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	service.HandleTraceFrom(g.traces, "gateway", w, r)
+}
+
+// FleetReplica is one backend's row in the fleet payload: the
+// gateway's health view of it, plus the replica's own /v1/stats
+// (absent, with StatsError set, when the replica cannot answer).
+type FleetReplica struct {
+	URL        string               `json:"url"`
+	Healthy    bool                 `json:"healthy"`
+	LastError  string               `json:"last_error,omitempty"`
+	Forwarded  uint64               `json:"forwarded"`
+	Stats      *service.ServerStats `json:"stats,omitempty"`
+	StatsError string               `json:"stats_error,omitempty"`
+}
+
+// FleetStatus is the /v1/fleet payload: the whole tier in one answer —
+// the gateway's own counters and every replica's health and stats.
+type FleetStatus struct {
+	Gateway  GatewayStats   `json:"gateway"`
+	Replicas []FleetReplica `json:"replicas"`
+}
+
+// fleetStatsTimeout bounds one replica's /v1/stats fetch within a
+// fleet snapshot, so one hung replica cannot stall the whole answer.
+const fleetStatsTimeout = 2 * time.Second
+
+// Fleet snapshots the tier: gateway counters plus each replica's
+// health state and stats, fetched concurrently.
+func (g *Gateway) Fleet(ctx context.Context) FleetStatus {
+	states := g.pool.states()
+	out := FleetStatus{Gateway: g.Stats(), Replicas: make([]FleetReplica, len(states))}
+	var wg sync.WaitGroup
+	for i, st := range states {
+		out.Replicas[i] = FleetReplica{
+			URL: st.URL, Healthy: st.Healthy,
+			LastError: st.LastError, Forwarded: st.Forwarded,
+		}
+		b := g.pool.byURL[st.URL]
+		if b == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(rep *FleetReplica, b *Backend) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, fleetStatsTimeout)
+			defer cancel()
+			stats, err := b.client.Stats(sctx)
+			if err != nil {
+				rep.StatsError = err.Error()
+				return
+			}
+			rep.Stats = stats
+		}(&out.Replicas[i], b)
+	}
+	wg.Wait()
+	return out
+}
+
+func (g *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		service.WriteWireError(w, service.CodeMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(g.Fleet(r.Context()))
 }
 
 // handleMetrics serves the process-wide registry, exactly like the

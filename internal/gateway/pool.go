@@ -64,6 +64,20 @@ type pool struct {
 	mu      sync.Mutex // serializes ring rebuilds and sweeps
 	stop    chan struct{}
 	stopped sync.WaitGroup
+
+	// onSweep, when non-nil (the gateway installs it), receives every
+	// completed health sweep's probe outcomes — the hook behind the
+	// health-sweep traces.
+	onSweep func(start time.Time, dur time.Duration, probes []sweepProbe, changed bool)
+}
+
+// sweepProbe is one backend's probe outcome within a health sweep.
+type sweepProbe struct {
+	url     string
+	healthy bool
+	detail  string // probe error or reported status ("" when healthy)
+	start   time.Time
+	dur     time.Duration
 }
 
 func newPool(urls []string, vnodes int, interval, timeout time.Duration) *pool {
@@ -133,8 +147,11 @@ func (p *pool) shutdown() {
 func (p *pool) CheckNow(ctx context.Context) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sweepStart := time.Now()
+	probes := make([]sweepProbe, 0, len(p.backends))
 	changed := false
 	for _, b := range p.backends {
+		probeStart := time.Now()
 		probeCtx, cancel := context.WithTimeout(ctx, p.timeout)
 		hs, err := b.client.Health(probeCtx)
 		cancel()
@@ -152,9 +169,19 @@ func (p *pool) CheckNow(ctx context.Context) {
 		if b.healthy.Swap(healthy) != healthy {
 			changed = true
 		}
+		probes = append(probes, sweepProbe{
+			url:     b.URL,
+			healthy: healthy,
+			detail:  b.lastErr.Load().(string),
+			start:   probeStart,
+			dur:     time.Since(probeStart),
+		})
 	}
 	if changed {
 		p.rebuildLocked()
+	}
+	if p.onSweep != nil {
+		p.onSweep(sweepStart, time.Since(sweepStart), probes, changed)
 	}
 }
 
@@ -200,6 +227,16 @@ func (p *pool) candidates(key string, n int) []*Backend {
 		}
 	}
 	return out
+}
+
+// ringSize returns the virtual-node point count of the current ring
+// (healthy backends × vnodes) — the lna_gateway_ring_size gauge.
+func (p *pool) ringSize() int {
+	r := p.ring.Load()
+	if r == nil {
+		return 0
+	}
+	return len(r.points)
 }
 
 // healthyCount returns how many backends are in the ring.

@@ -22,6 +22,7 @@ import (
 
 	"localalias/internal/ast"
 	"localalias/internal/core"
+	"localalias/internal/obs"
 	"localalias/internal/parser"
 	"localalias/internal/solve"
 	"localalias/internal/source"
@@ -59,6 +60,15 @@ type Options struct {
 	// fingerprints — editing a package invalidates exactly its
 	// downstream cone.
 	Cache *SummaryCache
+	// Trace, when non-nil, receives one span per scheduled module
+	// (category "modgraph"), parented under TraceParent; the module's
+	// own solver components nest under its span. The runner schedules
+	// modules on worker goroutines, so the trace travels by option
+	// rather than by context.
+	Trace *obs.Trace
+	// TraceParent is the span ID module spans parent under (typically
+	// the request's analyze span).
+	TraceParent string
 }
 
 // Finding is one rendered analysis error.

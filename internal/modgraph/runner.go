@@ -10,6 +10,7 @@ import (
 	"localalias/internal/ast"
 	"localalias/internal/core"
 	"localalias/internal/effects"
+	"localalias/internal/obs"
 	"localalias/internal/qual"
 	"localalias/internal/types"
 )
@@ -128,6 +129,21 @@ func (r *runner) analyze(name string) {
 	p := r.mods[name]
 	mr := &ModuleResult{Name: name, Deps: p.deps}
 
+	// Per-module span: analyze runs on worker goroutines, so the
+	// parent is explicit (the request's analyze span), never the
+	// trace's default-parent stack.
+	span := r.opts.Trace.StartChild(r.opts.TraceParent, "module:"+name, "modgraph")
+	defer func() {
+		outcome := "analyzed"
+		switch {
+		case mr.CacheHit:
+			outcome = "cache_hit"
+		case mr.Err != nil:
+			outcome = "failed"
+		}
+		span.End("module", name, "deps", fmt.Sprintf("%d", len(p.deps)), "outcome", outcome)
+	}()
+
 	// Build the import environment and the content fingerprint in one
 	// pass over the (sorted) dependency list.
 	sigs := make(types.ImportSigs)
@@ -197,7 +213,10 @@ func (r *runner) analyze(name string) {
 		r.publish(mr)
 		return
 	}
-	lr, err := m.AnalyzeLockingCtx(context.Background(), core.LockingOptions{
+	// The module span becomes the parent of this module's solver
+	// component spans (solveParallel reads the trace from ctx).
+	ctx := obs.ContextWithSpan(context.Background(), r.opts.Trace, span.ID())
+	lr, err := m.AnalyzeLockingCtx(ctx, core.LockingOptions{
 		General:         r.opts.General,
 		NoParams:        r.opts.NoParams,
 		NoLets:          r.opts.NoLets,

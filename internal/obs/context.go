@@ -1,0 +1,53 @@
+package obs
+
+import "context"
+
+// Context carriage for the active trace. Instrumented layers that
+// already take a context (the engine's bounded analysis, the solver
+// pool, the client's round-trip) reach the live trace through it, so
+// tracing rides along without new parameters on every signature. A
+// context without a span behaves exactly like a nil trace: every
+// derived operation no-ops.
+
+type spanCtxKey struct{}
+
+type spanCtxVal struct {
+	t      *Trace
+	parent string
+}
+
+// ContextWithSpan returns a context carrying the trace and the span
+// ID that work done under the context should parent under. A nil
+// trace returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, t *Trace, parent string) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, spanCtxVal{t: t, parent: parent})
+}
+
+// SpanFromContext returns the trace and parent span ID carried by the
+// context (nil, "" when absent — safe to use directly, since every
+// Trace method no-ops on nil). A nil context is treated as empty:
+// several solver entry points accept nil for "no deadline".
+func SpanFromContext(ctx context.Context) (*Trace, string) {
+	if ctx == nil {
+		return nil, ""
+	}
+	if v, ok := ctx.Value(spanCtxKey{}).(spanCtxVal); ok {
+		return v.t, v.parent
+	}
+	return nil, ""
+}
+
+// TraceContextFromContext returns the propagation context (trace ID +
+// parent span ID) for outbound requests made under ctx, and whether
+// one is present. This is what the client stamps into
+// TraceContextHeader.
+func TraceContextFromContext(ctx context.Context) (SpanContext, bool) {
+	t, parent := SpanFromContext(ctx)
+	if t == nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: t.ID(), SpanID: parent}, true
+}

@@ -3,8 +3,10 @@ package obs
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -12,10 +14,29 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
+// hex16 matches a bare 16-hex-character ID value in the export.
+var hex16 = regexp.MustCompile(`"[0-9a-f]{16}"`)
+
+// normalizeSpanIDs replaces every remaining 16-hex ID (span IDs,
+// after trace IDs have been substituted) with SPAN-n placeholders in
+// order of first appearance, so parent links stay checkable while the
+// process-unique values disappear.
+func normalizeSpanIDs(s string) string {
+	seen := map[string]string{}
+	return hex16.ReplaceAllStringFunc(s, func(m string) string {
+		if p, ok := seen[m]; ok {
+			return p
+		}
+		p := fmt.Sprintf(`"SPAN-%d"`, len(seen)+1)
+		seen[m] = p
+		return p
+	})
+}
+
 // TestChromeExportGolden pins the exact bytes of the Chrome
-// trace_event export for a fixed two-trace scenario. Trace IDs are
-// the only nondeterministic part of the output (timestamps are
-// caller-supplied), so they are normalized to stable placeholders
+// trace_event export for a fixed two-trace scenario. Trace and span
+// IDs are the only nondeterministic part of the output (timestamps
+// are caller-supplied), so they are normalized to stable placeholders
 // before comparison. Regenerate with `go test ./internal/obs -run
 // Golden -update` after an intentional format change.
 func TestChromeExportGolden(t *testing.T) {
@@ -36,6 +57,7 @@ func TestChromeExportGolden(t *testing.T) {
 	got := buf.String()
 	got = strings.ReplaceAll(got, a.ID(), "TRACE-A")
 	got = strings.ReplaceAll(got, b.ID(), "TRACE-B")
+	got = normalizeSpanIDs(got)
 
 	path := filepath.Join("testdata", "chrome_trace.golden")
 	if *update {

@@ -236,9 +236,13 @@ const (
 	kindHistogram metricKind = "histogram"
 )
 
-// series is one labeled instance within a metric family.
+// series is one labeled instance within a metric family. labels is
+// the rendered (escaped) form used only as the identity key; kv keeps
+// the raw label values, so each exposition escapes exactly once in
+// its own syntax instead of re-escaping the rendered key.
 type series struct {
-	labels  string // rendered `k="v",k2="v2"` form, "" for unlabeled
+	labels  string   // rendered `k="v",k2="v2"` form, "" for unlabeled
+	kv      []string // raw key,value list the series was created with
 	counter *Counter
 	gauge   *Gauge
 	gaugeFn func() int64 // callback gauges (queue depth, cache entries)
@@ -321,7 +325,7 @@ func (r *Registry) lookup(name, help string, kind metricKind, kv []string) *seri
 	}
 	s, ok := f.series[labels]
 	if !ok {
-		s = &series{labels: labels}
+		s = &series{labels: labels, kv: append([]string(nil), kv...)}
 		f.series[labels] = s
 		f.order = append(f.order, labels)
 	}
@@ -404,19 +408,16 @@ type metricJSON struct {
 	Series []seriesJSON `json:"series"`
 }
 
-// parseLabels inverts renderLabels for the JSON exposition (labels
-// are stored rendered; JSON wants a map).
-func parseLabels(rendered string) map[string]string {
-	if rendered == "" {
+// labelMap turns a raw k,v,k,v list into the map the JSON exposition
+// wants. Values are the raw strings the series was registered with;
+// JSON encoding applies its own escaping.
+func labelMap(kv []string) map[string]string {
+	if len(kv) == 0 {
 		return nil
 	}
-	out := make(map[string]string)
-	for _, part := range strings.Split(rendered, `",`) {
-		eq := strings.Index(part, `="`)
-		if eq < 0 {
-			continue
-		}
-		out[part[:eq]] = strings.TrimSuffix(part[eq+2:], `"`)
+	out := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out[kv[i]] = kv[i+1]
 	}
 	return out
 }
@@ -425,8 +426,8 @@ func parseLabels(rendered string) map[string]string {
 // (lock-free) instrument reads happen outside the registry lock.
 func (r *Registry) snapshot() []metricJSON {
 	type seriesRef struct {
-		labels string
-		s      *series
+		kv []string
+		s  *series
 	}
 	type familyRef struct {
 		name, help string
@@ -439,7 +440,7 @@ func (r *Registry) snapshot() []metricJSON {
 		f := r.families[name]
 		fr := familyRef{name: f.name, help: f.help, kind: f.kind}
 		for _, l := range f.order {
-			fr.series = append(fr.series, seriesRef{labels: l, s: f.series[l]})
+			fr.series = append(fr.series, seriesRef{kv: f.series[l].kv, s: f.series[l]})
 		}
 		fams = append(fams, fr)
 	}
@@ -449,7 +450,7 @@ func (r *Registry) snapshot() []metricJSON {
 	for _, fr := range fams {
 		m := metricJSON{Name: fr.name, Type: string(fr.kind), Help: fr.help}
 		for _, sr := range fr.series {
-			sj := seriesJSON{Labels: parseLabels(sr.labels)}
+			sj := seriesJSON{Labels: labelMap(sr.kv)}
 			switch fr.kind {
 			case kindCounter:
 				v := int64(sr.s.counter.Value())

@@ -1,0 +1,68 @@
+package obs
+
+import "sync"
+
+// TraceRing is a bounded in-memory buffer of recently completed
+// traces, keyed by trace ID — the store behind /v1/trace/{id}. When
+// full, inserting evicts the oldest entry. A nil ring is the disabled
+// state: Put and Get no-op, so servers built with tracing off need no
+// branches.
+type TraceRing struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[string]*Trace
+	order []string // insertion order, oldest first
+}
+
+// NewTraceRing returns a ring holding up to n traces; n <= 0 returns
+// nil (the disabled ring).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		return nil
+	}
+	return &TraceRing{cap: n, byID: make(map[string]*Trace, n)}
+}
+
+// Put inserts a completed trace, evicting the oldest entry when full.
+// Re-inserting an ID already present (a retried request replayed to
+// the same process) replaces the stored trace without consuming a
+// slot. Nil rings and nil traces no-op.
+func (r *TraceRing) Put(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	id := t.ID()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; ok {
+		r.byID[id] = t
+		return
+	}
+	if len(r.order) >= r.cap {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.byID, oldest)
+	}
+	r.order = append(r.order, id)
+	r.byID[id] = t
+}
+
+// Get returns the stored trace for id, or nil.
+func (r *TraceRing) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Len returns the number of stored traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}

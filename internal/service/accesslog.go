@@ -20,11 +20,13 @@ const (
 	LogJSON = "json"
 )
 
-// accessEntry is one HTTP request's log record. Every field the
+// AccessEntry is one HTTP request's log record. Every field the
 // operator needs to correlate a request with its trace and cache
 // behaviour rides here — and NOT in the response body, which must
-// stay byte-stable for caching.
-type accessEntry struct {
+// stay byte-stable for caching. The daemon and the gateway share the
+// type (and the logger): the gateway additionally fills Backend,
+// Attempts, and the relayed Incremental/Xmodule dispositions.
+type AccessEntry struct {
 	Time   time.Time `json:"time"`
 	Method string    `json:"method"`
 	Path   string    `json:"path"`
@@ -35,43 +37,52 @@ type accessEntry struct {
 	// Incremental is the reuse disposition of a cold single-module
 	// run: cold|partial|full (empty on hits or when disabled).
 	Incremental string `json:"incremental,omitempty"`
-	Module      string `json:"module,omitempty"`
-	Mode        string `json:"mode,omitempty"`
-	Modules     int    `json:"modules,omitempty"` // batch size
-	Hits        int    `json:"hits,omitempty"`    // batch cache hits
-	Misses      int    `json:"misses,omitempty"`  // batch cache misses
+	// Xmodule is the whole-program pass summary of a multi_module
+	// request ("modules=N;analyzed=A;failed=F"), mirroring the
+	// X-Lna-Xmodule response header.
+	Xmodule string `json:"xmodule,omitempty"`
+	Module  string `json:"module,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Modules int    `json:"modules,omitempty"` // batch size
+	Hits    int    `json:"hits,omitempty"`    // batch cache hits
+	Misses  int    `json:"misses,omitempty"`  // batch cache misses
+	// Backend and Attempts are gateway-side routing facts: which
+	// replica served the request and how many placement attempts
+	// (including hedges) it took.
+	Backend  string `json:"backend,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
 
 	// Phases is the per-phase wall-clock breakdown of a cold run
 	// (empty on cache hits — the work happened on the cold request).
 	Phases []faults.PhaseTiming `json:"phases,omitempty"`
 }
 
-// accessLogger serializes access entries to one writer in one of the
+// AccessLogger serializes access entries to one writer in one of the
 // two formats. A nil logger (logging disabled) is a no-op.
-type accessLogger struct {
+type AccessLogger struct {
 	mu     sync.Mutex
 	w      io.Writer
 	asJSON bool
 }
 
-// newAccessLogger builds a logger, or nil when w is nil or format
+// NewAccessLogger builds a logger, or nil when w is nil or format
 // does not name a known format.
-func newAccessLogger(w io.Writer, format string) *accessLogger {
+func NewAccessLogger(w io.Writer, format string) *AccessLogger {
 	if w == nil {
 		return nil
 	}
 	switch format {
 	case LogJSON:
-		return &accessLogger{w: w, asJSON: true}
+		return &AccessLogger{w: w, asJSON: true}
 	case LogText, "":
-		return &accessLogger{w: w}
+		return &AccessLogger{w: w}
 	}
 	return nil
 }
 
-// log writes one entry; concurrent requests serialize on the mutex so
+// Log writes one entry; concurrent requests serialize on the mutex so
 // lines never interleave.
-func (l *accessLogger) log(e accessEntry) {
+func (l *AccessLogger) Log(e AccessEntry) {
 	if l == nil {
 		return
 	}
@@ -97,6 +108,9 @@ func (l *accessLogger) log(e accessEntry) {
 	if e.Incremental != "" {
 		fmt.Fprintf(&b, " incremental=%s", e.Incremental)
 	}
+	if e.Xmodule != "" {
+		fmt.Fprintf(&b, " xmodule=%s", e.Xmodule)
+	}
 	if e.Module != "" {
 		fmt.Fprintf(&b, " module=%s", e.Module)
 	}
@@ -105,6 +119,12 @@ func (l *accessLogger) log(e accessEntry) {
 	}
 	if e.Modules > 0 {
 		fmt.Fprintf(&b, " modules=%d hits=%d misses=%d", e.Modules, e.Hits, e.Misses)
+	}
+	if e.Backend != "" {
+		fmt.Fprintf(&b, " backend=%s", e.Backend)
+	}
+	if e.Attempts > 0 {
+		fmt.Fprintf(&b, " attempts=%d", e.Attempts)
 	}
 	if len(e.Phases) > 0 {
 		b.WriteString(" phases=")

@@ -70,6 +70,14 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 	obs.App().Requests(mode).Inc()
 	tr := faults.NewTrace(name)
 	tr.SetSpans(req.Obs)
+	// Open the request's root span and install it in the context: the
+	// fault guard derives its context from ctx, so the span reaches
+	// every ctx-aware layer below (the parallel solver's per-component
+	// spans, the modgraph runner) without new parameters, and the
+	// phase spans faults.Trace emits parent under it via the trace's
+	// default-parent stack.
+	span := req.Obs.StartSpan("analyze", "request")
+	ctx = obs.ContextWithSpan(ctx, req.Obs, span.ID())
 	start := time.Now()
 	// The closure writes only these locals; on a timeout the abandoned
 	// goroutine may still be running, so they are read back only when
@@ -94,7 +102,7 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 		}
 		if req.Options.MultiModule {
 			var err error
-			mod, locking, program, stats, xmodule, err = analyzeMultiModule(req, name, src, mode)
+			mod, locking, program, stats, xmodule, err = analyzeMultiModule(ctx, req, name, src, mode)
 			return err
 		}
 		m, err := core.LoadModuleTraced(name, src, tr)
@@ -173,7 +181,7 @@ func AnalyzeBounded(ctx context.Context, req *AnalyzeRequest, timeout time.Durat
 	if fail != nil {
 		m.Failures(string(fail.Kind)).Inc()
 	}
-	req.Obs.Add("analyze", "request", start, resp.Elapsed, "module", name, "mode", mode)
+	span.End("module", name, "mode", mode)
 
 	// A non-timeout outcome means the analysis goroutine delivered its
 	// result, so the module (and its diagnostics) are safely ours. A

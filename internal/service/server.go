@@ -28,6 +28,9 @@ const (
 	// requests get to finish after SIGTERM before the listener is torn
 	// down hard.
 	DefaultDrainTimeout = 30 * time.Second
+	// DefaultTraceEntries bounds the in-memory ring of recently
+	// completed traces behind /v1/trace/{id}.
+	DefaultTraceEntries = 256
 	// maxRequestBytes bounds one request body (a batch of large
 	// modules fits comfortably; a runaway upload does not).
 	maxRequestBytes = 64 << 20
@@ -81,6 +84,11 @@ type ServerOptions struct {
 	// (0 = DefaultSummaryEntries). Eviction only loses diff
 	// reporting, never correctness.
 	SummaryEntries int
+	// TraceEntries bounds the ring buffer of recently completed traces
+	// served by /v1/trace/{id} (0 = DefaultTraceEntries; negative
+	// disables trace retention entirely — requests still get spans and
+	// an X-Lna-Trace ID, but nothing is retained for later fetch).
+	TraceEntries int
 }
 
 // withDefaults resolves zero fields.
@@ -104,6 +112,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.SummaryEntries <= 0 {
 		o.SummaryEntries = DefaultSummaryEntries
+	}
+	if o.TraceEntries == 0 {
+		o.TraceEntries = DefaultTraceEntries
 	}
 	return o
 }
@@ -135,7 +146,10 @@ type Server struct {
 	// queue bounds admitted single-module requests (waiting+running).
 	queue chan struct{}
 	// log is the access logger (nil = disabled).
-	log *accessLogger
+	log *AccessLogger
+	// traces retains recently completed request traces for
+	// /v1/trace/{id} (nil when TraceEntries is negative).
+	traces *obs.TraceRing
 
 	draining atomic.Bool
 	requests atomic.Uint64 // single-module requests admitted
@@ -156,11 +170,12 @@ type Server struct {
 func NewServer(opts ServerOptions) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		opts:  o,
-		cache: NewCache(o.CacheEntries),
-		slots: make(chan struct{}, o.Workers),
-		queue: make(chan struct{}, o.QueueDepth),
-		log:   newAccessLogger(o.AccessLog, o.LogFormat),
+		opts:   o,
+		cache:  NewCache(o.CacheEntries),
+		slots:  make(chan struct{}, o.Workers),
+		queue:  make(chan struct{}, o.QueueDepth),
+		log:    NewAccessLogger(o.AccessLog, o.LogFormat),
+		traces: obs.NewTraceRing(o.TraceEntries),
 	}
 	if o.MemoEntries > 0 {
 		s.inc = NewIncremental(solve.NewMemo(o.MemoEntries), o.SummaryEntries)
@@ -219,7 +234,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	return mux
+}
+
+// Traces exposes the server's trace ring (nil when retention is
+// disabled); the process-level smoke tests reach completed traces
+// through it without going over HTTP.
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
+
+// HandleTraceFrom serves GET /v1/trace/{id} out of a trace ring,
+// attributing the fragment to the named process role. Shared with the
+// gateway, whose handler differs only in ring and role.
+func HandleTraceFrom(ring *obs.TraceRing, process string, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteWireError(w, CodeMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		WriteWireError(w, CodeBadRequest, "want /v1/trace/{id}")
+		return
+	}
+	t := ring.Get(id)
+	if t == nil {
+		WriteWireError(w, CodeNotFound, "trace %q is not in this process's ring (expired or never seen)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(t.Export(process))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	HandleTraceFrom(s.traces, "replica", w, r)
 }
 
 // handleMetrics serves the process-wide metrics registry: JSON by
@@ -318,11 +367,11 @@ func (s *Server) releaseSlot() { <-s.slots }
 func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	w := &statusWriter{ResponseWriter: rw}
-	entry := accessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
+	entry := AccessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
 	defer func() {
 		entry.Status = w.Status()
 		entry.DurMs = float64(time.Since(start)) / float64(time.Millisecond)
-		s.log.log(entry)
+		s.log.Log(entry)
 	}()
 	if s.draining.Load() {
 		s.rejected.Add(1)
@@ -356,10 +405,16 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
 	// Every daemon request is traced: the spans cost microseconds next
 	// to an analysis, and the trace ID is what lets an operator join
-	// the access log, the response headers, and an exported trace.
-	ot := obs.NewTrace(req.Module)
+	// the access log, the response headers, and an exported trace. A
+	// propagated X-Lna-Trace-Context (from a gateway's attempt span)
+	// is adopted, so this process's spans join the caller's trace and
+	// parent under its attempt — the replica half of distributed
+	// tracing. Completed traces land in the ring behind /v1/trace/{id}.
+	sc, _ := obs.ParseTraceContext(r.Header.Get(obs.TraceContextHeader))
+	ot := obs.NewTraceContext(req.Module, sc)
 	req.Obs = ot
 	entry.Trace = ot.ID()
+	defer s.traces.Put(ot)
 	if !s.acquireSlot(r.Context()) {
 		return // client went away while queued
 	}
@@ -391,6 +446,7 @@ func (s *Server) handleAnalyze(rw http.ResponseWriter, r *http.Request) {
 	// only appears on misses).
 	if resp != nil && resp.Xmodule != "" {
 		w.Header().Set("X-Lna-Xmodule", resp.Xmodule)
+		entry.Xmodule = resp.Xmodule
 	}
 	// Per-phase timings ride in a header (and the access log), never in
 	// the canonical body — cached responses must replay byte-identically.
@@ -450,11 +506,11 @@ type BatchResponse struct {
 func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	w := &statusWriter{ResponseWriter: rw}
-	entry := accessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
+	entry := AccessEntry{Time: start, Method: r.Method, Path: r.URL.Path}
 	defer func() {
 		entry.Status = w.Status()
 		entry.DurMs = float64(time.Since(start)) / float64(time.Millisecond)
-		s.log.log(entry)
+		s.log.Log(entry)
 	}()
 	if s.draining.Load() {
 		s.rejected.Add(1)
@@ -501,9 +557,14 @@ func (s *Server) handleBatch(rw http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer wg.Done()
 			req := &batch.Requests[i]
+			// Batch entries always get fresh per-entry trace IDs (never
+			// the propagated context — hundreds of entries sharing one
+			// trace ID would make /v1/trace/{id} ambiguous); a gateway's
+			// batch spans live in its own gateway-side trace instead.
 			ot := obs.NewTrace(req.Module)
 			req.Obs = ot
 			out.Results[i].TraceID = ot.ID()
+			defer s.traces.Put(ot)
 			if !s.acquireSlot(r.Context()) {
 				return
 			}

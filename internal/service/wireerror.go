@@ -28,6 +28,9 @@ const (
 	CodeUnsupportedVersion = "unsupported_api_version"
 	// CodeMethodNotAllowed: the endpoint wants a different HTTP method.
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound: the addressed resource does not exist in this
+	// process (an expired or never-seen trace ID).
+	CodeNotFound = "not_found"
 	// CodeQueueFull: admission control refused the request; retry
 	// after the Retry-After interval.
 	CodeQueueFull = "queue_full"
@@ -58,6 +61,7 @@ var errorClasses = map[string]errorClass{
 	CodeBadRequest:         {http.StatusBadRequest, ExitUsage},
 	CodeUnsupportedVersion: {http.StatusBadRequest, ExitUsage},
 	CodeMethodNotAllowed:   {http.StatusMethodNotAllowed, ExitUsage},
+	CodeNotFound:           {http.StatusNotFound, ExitUsage},
 	CodeQueueFull:          {http.StatusTooManyRequests, ExitDegraded},
 	CodeDraining:           {http.StatusServiceUnavailable, ExitDegraded},
 	CodeBackendUnavailable: {http.StatusServiceUnavailable, ExitDegraded},

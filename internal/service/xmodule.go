@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"localalias/internal/core"
 	"localalias/internal/modgraph"
+	"localalias/internal/obs"
 	"localalias/internal/solve"
 	"localalias/internal/source"
 )
@@ -19,18 +21,24 @@ import (
 // Returns the request module (for diagnostics rendering), its locking
 // report, the transformed program (confine mode), the aggregated
 // solver stats, and the X-Lna-Xmodule summary value.
-func analyzeMultiModule(req *AnalyzeRequest, name, src, mode string) (*core.Module, *LockingReport, string, solve.Stats, string, error) {
+func analyzeMultiModule(ctx context.Context, req *AnalyzeRequest, name, src, mode string) (*core.Module, *LockingReport, string, solve.Stats, string, error) {
 	sources := make([]modgraph.Source, 0, len(req.Options.Libraries)+1)
 	for _, lib := range req.Options.Libraries {
 		sources = append(sources, modgraph.Source{Name: lib.Name, Text: lib.Source})
 	}
 	sources = append(sources, modgraph.Source{Name: name, Text: src})
 
+	// The DAG runner schedules modules on its own goroutines, so the
+	// trace travels by explicit option rather than context: every
+	// per-module span parents under the request's analyze span.
+	trace, parent := obs.SpanFromContext(ctx)
 	xres := modgraph.Analyze(sources, modgraph.Options{
 		Workers:       req.SolverWorkers,
 		General:       req.Options.General,
 		SolverWorkers: req.SolverWorkers,
 		Memo:          req.Memo,
+		Trace:         trace,
+		TraceParent:   parent,
 	})
 
 	var stats solve.Stats

@@ -3,8 +3,10 @@ package solve
 import (
 	"context"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"localalias/internal/bitset"
 	"localalias/internal/effects"
@@ -12,6 +14,13 @@ import (
 	"localalias/internal/locs"
 	"localalias/internal/obs"
 )
+
+// maxComponentSpans bounds how many per-component spans one parallel
+// solve records: only the heaviest components (the schedule's
+// critical path) are worth trace real estate, and a pathological
+// partition with thousands of singleton components must not flood the
+// request's trace.
+const maxComponentSpans = 64
 
 // This file is the parallel driver behind SolveWorkers: it runs one
 // unit solver per partition component on a bounded pool of worker
@@ -112,6 +121,12 @@ func solveParallel(ctx context.Context, sys *effects.System, g *graph, p *partit
 	if nw > p.ncomp {
 		nw = p.ncomp
 	}
+	// Per-component spans, recorded from worker goroutines with an
+	// explicit parent (the enclosing solve/module span carried by ctx).
+	// Only the heaviest components get spans — they are the schedule's
+	// critical path, and order[] is already weight-sorted, so the gate
+	// is a simple index check.
+	trace, parentSpan := obs.SpanFromContext(ctx)
 	panics := make([]any, p.ncomp)
 	var cursor atomic.Int32
 	var wg sync.WaitGroup
@@ -125,6 +140,13 @@ func solveParallel(ctx context.Context, sys *effects.System, g *graph, p *partit
 					return
 				}
 				c := order[i]
+				if trace != nil && i < maxComponentSpans {
+					start := time.Now()
+					runUnit(units[c], &panics[c])
+					trace.AddChild(parentSpan, "component", "solve", start, time.Since(start),
+						"component", strconv.Itoa(c), "weight", strconv.Itoa(weight(c)))
+					continue
+				}
 				runUnit(units[c], &panics[c])
 			}
 		}()
